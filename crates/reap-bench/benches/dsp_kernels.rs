@@ -1,0 +1,77 @@
+//! Criterion benches for the DSP kernels behind the design points' MCU
+//! execution-time model: the 16-point stretch FFT, statistical features,
+//! and the DWT. These are the building blocks Table 2's timing column is
+//! made of.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reap_dsp::{decimate, dwt, fft, stats};
+use std::hint::black_box;
+
+fn sample_window(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| (i as f64 * 0.37).sin() + 0.25 * (i as f64 * 1.7).cos())
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    group.sample_size(50);
+    for n in [16usize, 64, 256] {
+        let signal = sample_window(n);
+        group.bench_with_input(BenchmarkId::new("magnitudes", n), &signal, |b, s| {
+            b.iter(|| black_box(fft::fft_magnitudes(black_box(s)).expect("power of two")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stretch_feature_path(c: &mut Criterion) {
+    // The exact per-window stretch pipeline: 160 samples -> decimate to
+    // 16 -> FFT magnitudes.
+    let signal = sample_window(160);
+    c.bench_function("stretch_fft16_pipeline", |b| {
+        b.iter(|| {
+            let d = decimate::decimate_to(black_box(&signal), 16).expect("160 >= 16");
+            black_box(fft::fft_magnitudes(&d).expect("16 is a power of two"))
+        });
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats_summary");
+    group.sample_size(50);
+    for n in [60usize, 160] {
+        let signal = sample_window(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &signal, |b, s| {
+            b.iter(|| black_box(stats::Summary::of(black_box(s)).expect("non-empty")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dwt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dwt");
+    group.sample_size(50);
+    let signal = sample_window(128);
+    for wavelet in [dwt::Wavelet::Haar, dwt::Wavelet::Db4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{wavelet:?}")),
+            &signal,
+            |b, s| {
+                b.iter(|| {
+                    black_box(dwt::subband_energies(black_box(s), wavelet, 3).expect("128 is ok"))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_stretch_feature_path,
+    bench_stats,
+    bench_dwt
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches for the end-to-end HAR pipeline: feature extraction
+//! per design point, NN inference, and a full plan-execute simulation
+//! hour. These quantify the relative costs the paper's Fig. 2 knobs trade
+//! against accuracy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reap_data::{Activity, ActivityWindow, Dataset, UserProfile};
+use reap_har::{extract_features, train_classifier, DpConfig, TrainConfig};
+use reap_sim::{Policy, Scenario};
+use std::hint::black_box;
+
+fn window() -> ActivityWindow {
+    let profile = UserProfile::generate(0, 42);
+    let mut rng = StdRng::seed_from_u64(7);
+    ActivityWindow::synthesize(&profile, Activity::Walk, &mut rng)
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_extraction");
+    group.sample_size(50);
+    let w = window();
+    for (label, idx) in [("dp1_full", 0usize), ("dp3_half", 2), ("dp5_stretch", 4)] {
+        let config = DpConfig::paper_pareto_5()[idx].clone();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, cfg| {
+            b.iter(|| black_box(extract_features(black_box(cfg), &w).expect("valid config")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_classification(c: &mut Criterion) {
+    // Train once outside the measured loop; measure inference.
+    let dataset = Dataset::generate(4, 350, 42);
+    let dp1 = DpConfig::paper_pareto_5()[0].clone();
+    let classifier =
+        train_classifier(&dataset, &dp1, &TrainConfig::fast(1)).expect("training succeeds");
+    let w = window();
+    c.bench_function("classify_window_dp1", |b| {
+        b.iter(|| black_box(classifier.classify(black_box(&w)).expect("classifies")));
+    });
+}
+
+fn bench_simulated_day(c: &mut Criterion) {
+    // One simulated day under REAP: 24 plan+execute steps.
+    let scenario = Scenario::builder(reap_harvest::HarvestTrace::september_like(1))
+        .points(reap_device::paper_table2_operating_points())
+        .build()
+        .expect("valid scenario");
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(20);
+    group.bench_function("september_month_reap", |b| {
+        b.iter(|| black_box(scenario.run(Policy::Reap).expect("runs")));
+    });
+    group.bench_function("september_month_static_dp1", |b| {
+        b.iter(|| black_box(scenario.run(Policy::Static(1)).expect("runs")));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_feature_extraction,
+    bench_classification,
+    bench_simulated_day
+);
+criterion_main!(benches);

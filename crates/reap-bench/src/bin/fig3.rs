@@ -1,0 +1,89 @@
+//! Regenerates **Fig. 3**: the energy-accuracy scatter of all 24 design
+//! points and the Pareto front connecting DP1..DP5.
+//!
+//! Accuracies come from classifiers trained on the synthetic user study
+//! (the paper never published the 19 dominated points), energies from the
+//! calibrated device model.
+//!
+//! ```text
+//! cargo run --release -p reap-bench --bin fig3 [-- --quick]
+//! ```
+
+use reap_bench::{characterize_all_24, has_quick_flag, row, rule};
+use reap_har::pareto_front;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = has_quick_flag(&args);
+
+    println!("Fig. 3: energy-accuracy trade-off of the 24 design points");
+    println!("==========================================================");
+    println!("training 24 classifiers on the synthetic user study{}...",
+        if quick { " (quick mode)" } else { "" });
+
+    let all = characterize_all_24(quick);
+    let points: Vec<(f64, f64)> = all
+        .iter()
+        .map(|c| (c.total_energy().millijoules(), c.point.accuracy))
+        .collect();
+    let front = pareto_front(&points);
+
+    let widths = [4usize, 13, 13, 8, 42];
+    println!(
+        "\n{}",
+        row(
+            &[
+                "DP".into(),
+                "Energy (mJ)".into(),
+                "Accuracy (%)".into(),
+                "Pareto".into(),
+                "Configuration".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    for (i, c) in all.iter().enumerate() {
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{}", c.point.id),
+                    format!("{:.2}", c.total_energy().millijoules()),
+                    format!("{:.1}", c.point.accuracy * 100.0),
+                    if front.contains(&i) { "*".into() } else { "".into() },
+                    format!("{}", c.point.config),
+                ],
+                &widths
+            )
+        );
+    }
+
+    println!(
+        "\nPareto-optimal points: {:?}",
+        front.iter().map(|&i| all[i].point.id).collect::<Vec<_>>()
+    );
+
+    // ASCII scatter: energy on x (1.5-5 mJ), accuracy on y.
+    println!("\nascii scatter (x: energy/activity mJ, y: accuracy %):");
+    let rows = 16;
+    let cols = 60;
+    let (e_min, e_max) = (1.5, 5.0);
+    let (a_min, a_max) = (0.45, 1.0);
+    let mut grid = vec![vec![' '; cols]; rows];
+    for (i, &(e, a)) in points.iter().enumerate() {
+        let x = (((e - e_min) / (e_max - e_min)) * (cols - 1) as f64)
+            .clamp(0.0, (cols - 1) as f64) as usize;
+        let y = (((a - a_min) / (a_max - a_min)) * (rows - 1) as f64)
+            .clamp(0.0, (rows - 1) as f64) as usize;
+        let marker = if front.contains(&i) { '#' } else { 'o' };
+        grid[rows - 1 - y][x] = marker;
+    }
+    for (r, line) in grid.iter().enumerate() {
+        let acc = a_max - (r as f64 / (rows - 1) as f64) * (a_max - a_min);
+        println!("{:>5.1} |{}", acc * 100.0, line.iter().collect::<String>());
+    }
+    println!("      +{}", "-".repeat(cols));
+    println!("       {:<28}{:>28}", format!("{e_min} mJ"), format!("{e_max} mJ"));
+    println!("\n('#' = Pareto-optimal, 'o' = dominated)");
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Fig. 4**: the energy-consumption distribution of DP1
+//! over a one-hour activity period (paper total: 9.9 J, sensors ~47%).
+//!
+//! ```text
+//! cargo run --release -p reap-bench --bin fig4
+//! ```
+
+use reap_device::hourly_breakdown;
+use reap_har::DesignPoint;
+
+fn main() {
+    println!("Fig. 4: DP1 energy distribution over a one-hour activity period");
+    println!("================================================================");
+
+    let dp1 = &DesignPoint::paper_five()[0];
+    let b = hourly_breakdown(dp1);
+    let total = b.total();
+
+    println!("\ncomponent breakdown (device model):");
+    for (label, e) in b.components() {
+        let frac = e / total;
+        let bar = "#".repeat((frac * 50.0).round() as usize);
+        println!("  {label:<24} {:>7.3} J  {:>5.1}%  {bar}", e.joules(), frac * 100.0);
+    }
+    println!("  {:<24} {:>7.3} J", "total", total.joules());
+
+    println!("\nchecks against the paper:");
+    println!(
+        "  total ~ 9.9 J        -> model {:.2} J (paper: 9.9 J)",
+        total.joules()
+    );
+    println!(
+        "  sensor share ~ 47%   -> model {:.1}% (paper: ~47%)",
+        b.sensor_fraction() * 100.0
+    );
+
+    // The same breakdown for the other Pareto points, for context.
+    println!("\nhourly totals of all five Pareto DPs:");
+    for dp in DesignPoint::paper_five() {
+        let hb = hourly_breakdown(&dp);
+        println!(
+            "  DP{}: {:>6.2} J/h  (sensors {:>4.1}%)",
+            dp.id,
+            hb.total().joules(),
+            hb.sensor_fraction() * 100.0
+        );
+    }
+}

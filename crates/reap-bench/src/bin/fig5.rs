@@ -1,0 +1,115 @@
+//! Regenerates **Fig. 5**: (a) expected accuracy of REAP and the five
+//! static design points as a function of the allocated energy (alpha = 1),
+//! and (b) active time of each DP normalized to REAP.
+//!
+//! ```text
+//! cargo run --release -p reap-bench --bin fig5 [-- --char model --quick]
+//! ```
+
+use reap_bench::{operating_points, parse_char_mode, row, rule};
+use reap_core::{energy_sweep, linspace};
+use reap_units::Energy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = parse_char_mode(&args);
+    let quick = reap_bench::has_quick_flag(&args);
+
+    println!("Fig. 5: expected accuracy and active time vs allocated energy (alpha = 1)");
+    println!("==========================================================================");
+
+    let points = operating_points(mode, quick);
+    let problem = reap_bench::standard_problem(points, 1.0);
+    let budgets: Vec<Energy> = linspace(
+        problem.min_budget().joules(),
+        10.5,
+        42,
+    )
+    .into_iter()
+    .map(Energy::from_joules)
+    .collect();
+    let sweep = energy_sweep(&problem, &budgets).expect("sweep is solvable");
+
+    let widths = [9usize, 7, 7, 7, 7, 7, 7];
+    println!("\n(a) expected accuracy (%):");
+    println!(
+        "{}",
+        row(
+            &[
+                "Eb (J)".into(),
+                "REAP".into(),
+                "DP1".into(),
+                "DP2".into(),
+                "DP3".into(),
+                "DP4".into(),
+                "DP5".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    for p in &sweep {
+        let mut cells = vec![
+            format!("{:.2}", p.budget.joules()),
+            format!("{:.1}", p.reap.expected_accuracy() * 100.0),
+        ];
+        for s in &p.statics {
+            cells.push(format!("{:.1}", s.expected_accuracy() * 100.0));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+
+    println!("\n(b) active time normalized to REAP:");
+    println!(
+        "{}",
+        row(
+            &[
+                "Eb (J)".into(),
+                "REAP".into(),
+                "DP1".into(),
+                "DP2".into(),
+                "DP3".into(),
+                "DP4".into(),
+                "DP5".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    for p in &sweep {
+        let reap_active = p.reap.active_time().seconds().max(1e-9);
+        let mut cells = vec![format!("{:.2}", p.budget.joules()), "1.00".to_string()];
+        for s in &p.statics {
+            cells.push(format!("{:.2}", s.active_time().seconds() / reap_active));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+
+    // The checkpoints the paper calls out in Sec. 5.2.
+    println!("\ncheckpoints from the paper:");
+    let at = |j: f64| problem.solve(Energy::from_joules(j)).expect("solvable");
+    let s5 = at(5.0);
+    println!(
+        "  Eb = 5 J: REAP uses DP4 {:.0}% / DP5 {:.0}% of the hour (paper: 42% / 58%)",
+        s5.fraction_for(4) * 100.0,
+        s5.fraction_for(5) * 100.0
+    );
+    let s3 = at(3.0);
+    let dp1_static = reap_core::static_schedule(&problem, 1, Energy::from_joules(3.0))
+        .expect("solvable");
+    println!(
+        "  Eb = 3 J (Region 1): REAP active time is {:.1}x DP1's (paper: ~2.3x)",
+        s3.active_time() / dp1_static.active_time()
+    );
+    let s43 = at(4.32);
+    println!(
+        "  Eb = 4.32 J: DP5 saturates; REAP expected accuracy {:.1}%",
+        s43.expected_accuracy() * 100.0
+    );
+    let s99 = at(9.94);
+    println!(
+        "  Eb = 9.94 J: REAP reduces to DP1 (fraction {:.2}, accuracy {:.1}%)",
+        s99.fraction_for(1),
+        s99.expected_accuracy() * 100.0
+    );
+}

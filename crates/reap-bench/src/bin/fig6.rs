@@ -1,0 +1,75 @@
+//! Regenerates **Fig. 6**: the objective J(t) of each static design point
+//! normalized to REAP's, with alpha = 2 (accuracy-weighted).
+//!
+//! ```text
+//! cargo run --release -p reap-bench --bin fig6 [-- --char model --quick]
+//! ```
+
+use reap_bench::{operating_points, parse_char_mode, row, rule};
+use reap_core::{energy_sweep, linspace};
+use reap_units::Energy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = parse_char_mode(&args);
+    let quick = reap_bench::has_quick_flag(&args);
+    let alpha = 2.0;
+
+    println!("Fig. 6: static design points normalized to REAP, alpha = 2");
+    println!("===========================================================");
+
+    let points = operating_points(mode, quick);
+    let problem = reap_bench::standard_problem(points, alpha);
+    let budgets: Vec<Energy> = linspace(3.0, 10.0, 36)
+        .into_iter()
+        .map(Energy::from_joules)
+        .collect();
+    let sweep = energy_sweep(&problem, &budgets).expect("sweep is solvable");
+
+    let widths = [9usize, 7, 7, 7, 7, 7];
+    println!(
+        "\n{}",
+        row(
+            &[
+                "Eb (J)".into(),
+                "DP1".into(),
+                "DP2".into(),
+                "DP3".into(),
+                "DP4".into(),
+                "DP5".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    for p in &sweep {
+        let reap_j = p.reap.objective(alpha).max(1e-12);
+        let mut cells = vec![format!("{:.2}", p.budget.joules())];
+        for s in &p.statics {
+            cells.push(format!("{:.3}", s.objective(alpha) / reap_j));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+
+    println!("\ncheckpoints from the paper (Sec. 5.3):");
+    let norm = |j: f64, idx: usize| -> f64 {
+        let rows = energy_sweep(&problem, &[Energy::from_joules(j)]).expect("solvable");
+        rows[0].statics[idx].objective(alpha) / rows[0].reap.objective(alpha)
+    };
+    println!(
+        "  below 6 J, DP4 is the best static point and REAP matches it: DP4/REAP at 5 J = {:.3}",
+        norm(5.0, 3)
+    );
+    println!(
+        "  DP3 matches REAP near 6.5 J: DP3/REAP = {:.3} (paper: ~1.0)",
+        norm(6.5, 2)
+    );
+    println!(
+        "  beyond 6.5 J REAP pulls ahead of DP3: DP3/REAP at 8.5 J = {:.3}",
+        norm(8.5, 2)
+    );
+    println!(
+        "  beyond 9.9 J REAP reduces to DP1: DP1/REAP at 10 J = {:.3}",
+        norm(10.0, 0)
+    );
+}

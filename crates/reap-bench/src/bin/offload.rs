@@ -1,0 +1,71 @@
+//! Regenerates the **Sec. 4.2 offloading comparison**: sending raw sensor
+//! data to a host (5.5 mJ/activity for the full sensor set) vs.
+//! transmitting just the recognized activity (0.38 mJ).
+//!
+//! ```text
+//! cargo run --release -p reap-bench --bin offload
+//! ```
+
+use reap_bench::{row, rule};
+use reap_device::{energy, radio};
+use reap_har::DpConfig;
+
+fn main() {
+    println!("Sec. 4.2: raw-data offloading vs on-device classification");
+    println!("==========================================================");
+
+    let widths = [4usize, 12, 14, 16, 16, 9];
+    println!(
+        "\n{}",
+        row(
+            &[
+                "DP".into(),
+                "Raw bytes".into(),
+                "Offload (mJ)".into(),
+                "On-device (mJ)".into(),
+                "+result TX (mJ)".into(),
+                "Winner".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+
+    for (i, config) in DpConfig::paper_pareto_5().iter().enumerate() {
+        let (raw, result_tx) = radio::offload_comparison(config);
+        let on_device = energy::activity_energy(config);
+        let total_local = on_device + result_tx;
+        // Offloading still pays for sensing.
+        let total_offload = raw + energy::sensor_energy(config);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{}", i + 1),
+                    format!("{}", radio::raw_payload_bytes(config)),
+                    format!("{:.2}", total_offload.millijoules()),
+                    format!("{:.2}", on_device.millijoules()),
+                    format!("{:.2}", total_local.millijoules()),
+                    if total_local < total_offload { "local" } else { "offload" }.into(),
+                ],
+                &widths
+            )
+        );
+    }
+
+    let dp1 = &DpConfig::paper_pareto_5()[0];
+    let (raw, result) = radio::offload_comparison(dp1);
+    println!("\nchecks against the paper:");
+    println!(
+        "  raw offload (full sensor set): {:.2} mJ (paper: 5.5 mJ)",
+        raw.millijoules()
+    );
+    println!(
+        "  recognized-activity TX:        {:.2} mJ (paper: ~0.38 mJ)",
+        result.millijoules()
+    );
+    println!(
+        "  conclusion: offloading is {:.1}x costlier than result TX -> classify on-device",
+        raw / result
+    );
+}

@@ -1,0 +1,89 @@
+//! Regenerates **Table 2**: accuracy, execution-time distribution, and
+//! energy/power of the five Pareto-optimal design points.
+//!
+//! ```text
+//! cargo run --release -p reap-bench --bin table2 [-- --char model --quick]
+//! ```
+
+use reap_bench::{parse_char_mode, pareto_characterization, row, rule, CharMode};
+
+fn print_table(title: &str, rows: &[reap_device::CharacterizedDp]) {
+    let widths = [4usize, 9, 10, 11, 8, 9, 9, 11, 11, 10];
+    println!("\n{title}");
+    println!(
+        "{}",
+        row(
+            &[
+                "DP".into(),
+                "Acc. (%)".into(),
+                "Accel (ms)".into(),
+                "Stretch(ms)".into(),
+                "NN (ms)".into(),
+                "Total(ms)".into(),
+                "MCU (mJ)".into(),
+                "Sensor (mJ)".into(),
+                "Energy (mJ)".into(),
+                "Power (mW)".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    for c in rows {
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{}", c.point.id),
+                    format!("{:.0}", c.point.accuracy * 100.0),
+                    format!("{:.2}", c.times.accel_features.millis()),
+                    format!("{:.2}", c.times.stretch_features.millis()),
+                    format!("{:.2}", c.times.nn.millis()),
+                    format!("{:.2}", c.times.total().millis()),
+                    format!("{:.2}", c.mcu_energy.millijoules()),
+                    format!("{:.2}", c.sensor_energy.millijoules()),
+                    format!("{:.2}", c.total_energy().millijoules()),
+                    format!("{:.2}", c.average_power.milliwatts()),
+                ],
+                &widths
+            )
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = parse_char_mode(&args);
+    let quick = reap_bench::has_quick_flag(&args);
+
+    println!("Table 2: Pareto-optimal design-point characterization");
+    println!("======================================================");
+
+    print_table(
+        "Published (paper) characterization:",
+        &pareto_characterization(CharMode::Paper, quick),
+    );
+
+    match mode {
+        CharMode::Paper => {
+            // Show the calibrated device model with paper accuracies so
+            // the reader can compare the two characterizations directly.
+            let modeled =
+                reap_device::characterize_all(&reap_har::DesignPoint::paper_five());
+            print_table("Device-model characterization (paper accuracies):", &modeled);
+        }
+        CharMode::Model => {
+            println!("\ntraining classifiers on the synthetic user study...");
+            let modeled = pareto_characterization(CharMode::Model, quick);
+            print_table(
+                "Device-model characterization (trained accuracies):",
+                &modeled,
+            );
+        }
+    }
+
+    println!("\nDescriptions:");
+    for (i, config) in reap_har::DpConfig::paper_pareto_5().iter().enumerate() {
+        println!("  DP{}: {config}", i + 1);
+    }
+}

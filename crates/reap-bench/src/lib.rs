@@ -1,0 +1,224 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Every evaluation artifact of the paper has a binary in `src/bin/`:
+//!
+//! | artifact | binary | what it prints |
+//! |----------|--------|----------------|
+//! | Table 2  | `table2` | per-DP accuracy, timing split, energies, power |
+//! | Fig. 3   | `fig3` | energy/accuracy of all 24 DPs + Pareto front |
+//! | Fig. 4   | `fig4` | DP1 hourly energy breakdown |
+//! | Fig. 5   | `fig5` | expected accuracy + normalized active time sweep |
+//! | Fig. 6   | `fig6` | normalized J(t) at alpha = 2 |
+//! | Fig. 7   | `fig7` | month-long solar case study vs alpha |
+//! | Sec. 4.2 | `offload` | BLE raw offload vs on-device result TX |
+//! | headlines | `headlines` | the abstract's 46% / 66% claims |
+//!
+//! Binaries accept `--char paper` (default: published Table 2 numbers) or
+//! `--char model` (device model + classifiers trained on the synthetic
+//! user study), plus `--quick` to shrink training for smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use reap_core::{OperatingPoint, ReapProblem};
+use reap_device::{characterize, CharacterizedDp};
+use reap_har::{train_classifier, DesignPoint, DpConfig, TrainConfig};
+
+/// Which characterization backs the operating points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CharMode {
+    /// The paper's published Table 2 rows, verbatim.
+    #[default]
+    Paper,
+    /// The calibrated device model plus classifiers trained on the
+    /// synthetic user study.
+    Model,
+}
+
+/// Parses `--char {paper|model}` from CLI args (defaults to paper).
+///
+/// # Panics
+///
+/// Panics with a usage message on an unknown mode string.
+#[must_use]
+pub fn parse_char_mode(args: &[String]) -> CharMode {
+    match args.iter().position(|a| a == "--char") {
+        None => CharMode::default(),
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("paper") => CharMode::Paper,
+            Some("model") => CharMode::Model,
+            other => panic!("--char expects 'paper' or 'model', got {other:?}"),
+        },
+    }
+}
+
+/// `true` when `--quick` was passed (smaller dataset, fewer epochs).
+#[must_use]
+pub fn has_quick_flag(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--quick")
+}
+
+/// Deterministic seed shared by every binary so results are reproducible
+/// run to run.
+pub const BENCH_SEED: u64 = 2019;
+
+/// The dataset used for model-mode accuracy measurement.
+#[must_use]
+pub fn bench_dataset(quick: bool) -> reap_data::Dataset {
+    if quick {
+        reap_data::Dataset::generate(6, 700, BENCH_SEED)
+    } else {
+        reap_data::Dataset::user_study(BENCH_SEED)
+    }
+}
+
+/// The training configuration used for model-mode accuracy measurement.
+#[must_use]
+pub fn bench_train_config(quick: bool) -> TrainConfig {
+    if quick {
+        TrainConfig::fast(BENCH_SEED)
+    } else {
+        TrainConfig {
+            seed: BENCH_SEED,
+            ..TrainConfig::default()
+        }
+    }
+}
+
+/// Characterizes the five Pareto design points under a mode.
+///
+/// # Panics
+///
+/// Panics if model-mode training fails (cannot happen for the bundled
+/// dataset generator).
+#[must_use]
+pub fn pareto_characterization(mode: CharMode, quick: bool) -> Vec<CharacterizedDp> {
+    match mode {
+        CharMode::Paper => reap_device::paper_table2(),
+        CharMode::Model => {
+            let dataset = bench_dataset(quick);
+            let config = bench_train_config(quick);
+            DpConfig::paper_pareto_5()
+                .into_iter()
+                .enumerate()
+                .map(|(i, dp_config)| {
+                    let trained = train_classifier(&dataset, &dp_config, &config)
+                        .expect("training the bundled configs succeeds");
+                    let point = DesignPoint::new(i as u8 + 1, dp_config, trained.test_accuracy)
+                        .expect("accuracy is in [0,1]");
+                    characterize(&point)
+                })
+                .collect()
+        }
+    }
+}
+
+/// The five Pareto operating points under a mode.
+#[must_use]
+pub fn operating_points(mode: CharMode, quick: bool) -> Vec<OperatingPoint> {
+    pareto_characterization(mode, quick)
+        .iter()
+        .map(CharacterizedDp::operating_point)
+        .collect()
+}
+
+/// Characterizes (accuracy via training + energy via the device model)
+/// all 24 candidate design points — the data behind Fig. 3.
+///
+/// # Panics
+///
+/// Panics if training fails (cannot happen for the bundled generator).
+#[must_use]
+pub fn characterize_all_24(quick: bool) -> Vec<CharacterizedDp> {
+    let dataset = bench_dataset(quick);
+    let config = bench_train_config(quick);
+    DpConfig::standard_24()
+        .into_iter()
+        .enumerate()
+        .map(|(i, dp_config)| {
+            let trained = train_classifier(&dataset, &dp_config, &config)
+                .expect("training the bundled configs succeeds");
+            let point = DesignPoint::new(i as u8 + 1, dp_config, trained.test_accuracy)
+                .expect("accuracy is in [0,1]");
+            characterize(&point)
+        })
+        .collect()
+}
+
+/// Builds the standard one-hour, 50 µW-off problem over `points`.
+///
+/// # Panics
+///
+/// Panics if `points` is invalid (the bundled sets never are).
+#[must_use]
+pub fn standard_problem(points: Vec<OperatingPoint>, alpha: f64) -> ReapProblem {
+    ReapProblem::builder()
+        .alpha(alpha)
+        .points(points)
+        .build()
+        .expect("bundled operating points are valid")
+}
+
+/// Formats one fixed-width table row.
+#[must_use]
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Prints a rule line matching `widths`.
+#[must_use]
+pub fn rule(widths: &[usize]) -> String {
+    widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>()
+        .join("--")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_mode_parsing() {
+        let none: Vec<String> = vec![];
+        assert_eq!(parse_char_mode(&none), CharMode::Paper);
+        let paper = vec!["--char".to_string(), "paper".to_string()];
+        assert_eq!(parse_char_mode(&paper), CharMode::Paper);
+        let model = vec!["--char".to_string(), "model".to_string()];
+        assert_eq!(parse_char_mode(&model), CharMode::Model);
+    }
+
+    #[test]
+    #[should_panic(expected = "--char expects")]
+    fn bad_char_mode_panics() {
+        let bad = vec!["--char".to_string(), "nope".to_string()];
+        let _ = parse_char_mode(&bad);
+    }
+
+    #[test]
+    fn quick_flag() {
+        assert!(has_quick_flag(&["--quick".to_string()]));
+        assert!(!has_quick_flag(&[]));
+    }
+
+    #[test]
+    fn paper_points_are_the_table2_five() {
+        let pts = operating_points(CharMode::Paper, true);
+        assert_eq!(pts.len(), 5);
+        assert!((pts[0].accuracy() - 0.94).abs() < 1e-12);
+        assert!((pts[4].power().milliwatts() - 1.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_formatting() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+        assert_eq!(rule(&[2, 3]), "-------");
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for the REAP optimizer.
+
+use std::error::Error;
+use std::fmt;
+
+use reap_lp::LpError;
+use reap_units::Energy;
+
+/// Errors produced while building or solving a REAP problem.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ReapError {
+    /// The problem has no operating points.
+    NoPoints,
+    /// A parameter was out of its valid range (message explains which).
+    InvalidParameter(String),
+    /// The budget cannot even keep the harvesting/monitoring circuitry
+    /// powered for the whole period (`Eb < P_off * TP`).
+    BudgetTooSmall {
+        /// The offending budget.
+        budget: Energy,
+        /// The minimum feasible budget `P_off * TP`.
+        minimum: Energy,
+    },
+    /// The underlying LP solver failed (iteration limit or malformed
+    /// problem — both indicate a bug or pathological input).
+    Lp(LpError),
+    /// The LP reported infeasible/unbounded, which cannot happen for a
+    /// well-formed REAP instance; reported rather than panicking.
+    SolverInconsistency(String),
+    /// An operating-point id was not found in the problem.
+    UnknownPoint {
+        /// The id that was requested.
+        id: u8,
+    },
+}
+
+impl fmt::Display for ReapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReapError::NoPoints => write!(f, "problem has no operating points"),
+            ReapError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ReapError::BudgetTooSmall { budget, minimum } => write!(
+                f,
+                "budget {budget} is below the off-state floor {minimum}"
+            ),
+            ReapError::Lp(e) => write!(f, "lp solver failed: {e}"),
+            ReapError::SolverInconsistency(msg) => {
+                write!(f, "solver produced an inconsistent result: {msg}")
+            }
+            ReapError::UnknownPoint { id } => write!(f, "no operating point with id {id}"),
+        }
+    }
+}
+
+impl Error for ReapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReapError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<LpError> for ReapError {
+    fn from(e: LpError) -> Self {
+        ReapError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(ReapError::NoPoints.to_string().contains("no operating"));
+        let e = ReapError::BudgetTooSmall {
+            budget: Energy::from_joules(0.1),
+            minimum: Energy::from_joules(0.18),
+        };
+        assert!(e.to_string().contains("0.18"));
+        assert!(ReapError::UnknownPoint { id: 9 }.to_string().contains('9'));
+        let lp = ReapError::from(LpError::EmptyObjective);
+        assert!(Error::source(&lp).is_some());
+    }
+}

@@ -1,0 +1,144 @@
+//! The activity label set.
+
+use std::fmt;
+
+/// The activities recognized by the HAR application.
+///
+/// The paper's user studies cover six activities — *sit, stand, walk, jump,
+/// drive, lie down* — plus *transitions* among them, giving a 7-class
+/// problem (which matches the 7-output neural-network structures of the
+/// paper's Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Activity {
+    /// Sitting on a chair (knee bent, torso upright).
+    Sit,
+    /// Standing (leg straight, torso upright).
+    Stand,
+    /// Walking at the user's natural cadence.
+    Walk,
+    /// Jumping in place.
+    Jump,
+    /// Sitting in a moving vehicle (posture like sitting plus road
+    /// vibration).
+    Drive,
+    /// Lying down (torso horizontal).
+    LieDown,
+    /// A transition between two postures within the window.
+    Transition,
+}
+
+impl Activity {
+    /// All activities in index order.
+    pub const ALL: [Activity; 7] = [
+        Activity::Sit,
+        Activity::Stand,
+        Activity::Walk,
+        Activity::Jump,
+        Activity::Drive,
+        Activity::LieDown,
+        Activity::Transition,
+    ];
+
+    /// Number of classes.
+    pub const COUNT: usize = 7;
+
+    /// Stable class index in `0..Activity::COUNT`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Activity::Sit => 0,
+            Activity::Stand => 1,
+            Activity::Walk => 2,
+            Activity::Jump => 3,
+            Activity::Drive => 4,
+            Activity::LieDown => 5,
+            Activity::Transition => 6,
+        }
+    }
+
+    /// Inverse of [`Activity::index`].
+    ///
+    /// Returns `None` when `index >= Activity::COUNT`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Option<Activity> {
+        Activity::ALL.get(index).copied()
+    }
+
+    /// Human-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Activity::Sit => "sit",
+            Activity::Stand => "stand",
+            Activity::Walk => "walk",
+            Activity::Jump => "jump",
+            Activity::Drive => "drive",
+            Activity::LieDown => "lie down",
+            Activity::Transition => "transition",
+        }
+    }
+
+    /// `true` for the static postures (sit, stand, drive, lie down) whose
+    /// accelerometer signal is dominated by the gravity orientation.
+    #[must_use]
+    pub fn is_static_posture(self) -> bool {
+        matches!(
+            self,
+            Activity::Sit | Activity::Stand | Activity::Drive | Activity::LieDown
+        )
+    }
+}
+
+impl fmt::Display for Activity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, &a) in Activity::ALL.iter().enumerate() {
+            assert_eq!(a.index(), i);
+            assert_eq!(Activity::from_index(i), Some(a));
+        }
+        assert_eq!(Activity::from_index(7), None);
+    }
+
+    #[test]
+    fn all_has_no_duplicates() {
+        for (i, a) in Activity::ALL.iter().enumerate() {
+            for b in &Activity::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(Activity::ALL.len(), Activity::COUNT);
+    }
+
+    #[test]
+    fn labels_are_distinct_and_nonempty() {
+        let labels: Vec<&str> = Activity::ALL.iter().map(|a| a.label()).collect();
+        for (i, l) in labels.iter().enumerate() {
+            assert!(!l.is_empty());
+            for m in &labels[i + 1..] {
+                assert_ne!(l, m);
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(Activity::LieDown.to_string(), "lie down");
+    }
+
+    #[test]
+    fn posture_classification() {
+        assert!(Activity::Sit.is_static_posture());
+        assert!(Activity::Drive.is_static_posture());
+        assert!(!Activity::Walk.is_static_posture());
+        assert!(!Activity::Transition.is_static_posture());
+    }
+}

@@ -1,0 +1,56 @@
+//! Internal randomness helpers.
+//!
+//! `rand` 0.8 ships only uniform distributions; the waveform models need
+//! Gaussian noise, so we implement the Box-Muller transform here rather
+//! than pulling in `rand_distr`.
+
+use rand::Rng;
+
+/// One standard-normal draw via the Box-Muller transform.
+pub(crate) fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling the half-open interval away from zero.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A normal draw with explicit mean and standard deviation.
+pub(crate) fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * gauss(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gauss_has_unit_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| gauss(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(gauss(&mut a), gauss(&mut b));
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Accelerometer waveform models.
+//!
+//! Each activity produces a characteristic 3-axis acceleration pattern (in
+//! units of g) on a chest/thigh-worn device:
+//!
+//! * **static postures** — a gravity orientation vector plus postural
+//!   tremor (sit and stand differ by torso pitch; lying down rotates
+//!   gravity onto the x axis; driving adds vehicle vibration),
+//! * **walk** — periodic gait oscillation at the user's cadence with a
+//!   second-harmonic heel-strike component,
+//! * **jump** — an impulse train of take-off spikes and flight-phase dips.
+//!
+//! The axis convention is `[x, y, z]` = `[lateral, forward, vertical]` for
+//! an upright wearer.
+
+use rand::Rng;
+
+use crate::noise::normal;
+use crate::window::{SAMPLE_RATE_HZ, WINDOW_SAMPLES};
+use crate::{Activity, UserProfile};
+
+/// Gravity orientation (in g) for a static posture, before mount tilt.
+fn posture_gravity(activity: Activity) -> [f64; 3] {
+    match activity {
+        Activity::Sit => [0.10, 0.26, 0.95],
+        Activity::Stand => [0.02, 0.05, 1.00],
+        Activity::Drive => [0.12, 0.28, 0.94],
+        Activity::LieDown => [0.94, 0.08, 0.26],
+        // Dynamic activities oscillate around standing.
+        Activity::Walk | Activity::Jump => [0.02, 0.05, 1.00],
+        Activity::Transition => unreachable!("transitions are composed in window.rs"),
+    }
+}
+
+/// Applies the device mounting orientation: yaw (x-y plane rotation,
+/// mixing the lateral and forward axes) followed by pitch tilt (y-z
+/// plane). Mounting variation across users is a major reason recognition
+/// accuracy "is a strong function of the users" (Sec. 1).
+fn apply_mount(g: [f64; 3], yaw: f64, tilt: f64) -> [f64; 3] {
+    let (sy, cy) = yaw.sin_cos();
+    let yawed = [g[0] * cy - g[1] * sy, g[0] * sy + g[1] * cy, g[2]];
+    let (st, ct) = tilt.sin_cos();
+    [
+        yawed[0],
+        yawed[1] * ct - yawed[2] * st,
+        yawed[1] * st + yawed[2] * ct,
+    ]
+}
+
+/// Synthesizes a 3-axis accelerometer window for a **non-transition**
+/// activity. Returns `[x, y, z]`, each `WINDOW_SAMPLES` long.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if called with [`Activity::Transition`]; the
+/// window composer handles transitions by crossfading two calls to this
+/// function.
+pub(crate) fn accel_window<R: Rng + ?Sized>(
+    profile: &UserProfile,
+    activity: Activity,
+    rng: &mut R,
+) -> [Vec<f64>; 3] {
+    debug_assert_ne!(activity, Activity::Transition);
+    // The device re-seats slightly every time it is worn: add a small
+    // per-window orientation jitter on top of the user's mounting pose.
+    let tilt = profile.mount_tilt_rad + rng.gen_range(-0.08..0.08);
+    let yaw = profile.mount_yaw_rad + rng.gen_range(-0.08..0.08);
+    let gravity = posture_gravity(activity);
+    let mut out = [
+        Vec::with_capacity(WINDOW_SAMPLES),
+        Vec::with_capacity(WINDOW_SAMPLES),
+        Vec::with_capacity(WINDOW_SAMPLES),
+    ];
+
+    let tau = 2.0 * std::f64::consts::PI;
+    // Per-window random phases / vibration structure.
+    let phase: f64 = rng.gen_range(0.0..tau);
+    let phase2: f64 = rng.gen_range(0.0..tau);
+    // Road roughness varies ride to ride; a smooth highway makes driving
+    // nearly indistinguishable from sitting even with the accelerometer.
+    let road: f64 = rng.gen_range(0.25..1.3);
+    let vib: [(f64, f64, f64); 3] = [
+        (rng.gen_range(8.0..14.0), road * rng.gen_range(0.03..0.07), rng.gen_range(0.0..tau)),
+        (rng.gen_range(14.0..20.0), road * rng.gen_range(0.02..0.05), rng.gen_range(0.0..tau)),
+        (rng.gen_range(3.0..6.0), road * rng.gen_range(0.01..0.03), rng.gen_range(0.0..tau)),
+    ];
+
+    let tremor = match activity {
+        Activity::Sit | Activity::Drive => profile.posture_tremor_g,
+        Activity::Stand => profile.posture_tremor_g * 1.6, // standing sway
+        Activity::LieDown => profile.posture_tremor_g * 0.5,
+        _ => 0.0,
+    };
+
+    for n in 0..WINDOW_SAMPLES {
+        let t = n as f64 / SAMPLE_RATE_HZ;
+        let mut sample = gravity;
+
+        match activity {
+            Activity::Walk => {
+                let f = profile.gait_freq_hz;
+                let a = profile.gait_amplitude;
+                let fundamental = (tau * f * t + phase).sin();
+                let heel_strike = (2.0 * tau * f * t + phase2).sin();
+                sample[2] += a * fundamental + 0.45 * a * heel_strike;
+                sample[1] += 0.60 * a * (tau * f * t + phase + 1.1).sin();
+                sample[0] += 0.30 * a * (tau * f * t * 0.5 + phase2).sin();
+            }
+            Activity::Jump => {
+                let f = profile.jump_freq_hz;
+                let a = profile.jump_amplitude;
+                // Take-off spike: a narrow positive lobe once per period.
+                let s = (tau * f * t + phase).sin().max(0.0);
+                let spike = s.powi(8);
+                // Flight phase: near free-fall between spikes.
+                let flight = (tau * f * t + phase + std::f64::consts::PI).sin().max(0.0).powi(4);
+                sample[2] += a * spike - 0.85 * flight;
+                sample[1] += 0.35 * a * spike;
+                sample[0] += 0.15 * a * (tau * f * t + phase2).sin();
+            }
+            Activity::Drive => {
+                // Road vibration: a few sinusoids in the 3-20 Hz band.
+                for &(f, a, ph) in &vib {
+                    let v = a * (tau * f * t + ph).sin();
+                    sample[2] += v;
+                    sample[1] += 0.5 * v;
+                    sample[0] += 0.3 * v;
+                }
+            }
+            _ => {}
+        }
+
+        // The device measures the body-frame vector rotated into the
+        // device frame, plus sensor noise and postural tremor.
+        let rotated = apply_mount(sample, yaw, tilt);
+        for (axis, value) in rotated.iter().enumerate() {
+            let noisy = normal(rng, *value, profile.accel_noise_g)
+                + if tremor > 0.0 { normal(rng, 0.0, tremor) } else { 0.0 };
+            out[axis].push(noisy);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn profile() -> UserProfile {
+        UserProfile::generate(0, 42)
+    }
+
+    fn mean(x: &[f64]) -> f64 {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+
+    fn std_dev(x: &[f64]) -> f64 {
+        let m = mean(x);
+        (x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn windows_have_the_right_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = accel_window(&profile(), Activity::Sit, &mut rng);
+        for axis in &w {
+            assert_eq!(axis.len(), WINDOW_SAMPLES);
+            assert!(axis.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn lying_rotates_gravity_onto_x() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = profile();
+        let lie = accel_window(&p, Activity::LieDown, &mut rng);
+        let stand = accel_window(&p, Activity::Stand, &mut rng);
+        assert!(mean(&lie[0]) > 0.7, "lie x mean = {}", mean(&lie[0]));
+        assert!(mean(&stand[2]) > 0.8, "stand z mean = {}", mean(&stand[2]));
+        assert!(mean(&lie[2]) < 0.5);
+    }
+
+    #[test]
+    fn walking_is_much_more_dynamic_than_sitting() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = profile();
+        let walk = accel_window(&p, Activity::Walk, &mut rng);
+        let sit = accel_window(&p, Activity::Sit, &mut rng);
+        assert!(
+            std_dev(&walk[2]) > 5.0 * std_dev(&sit[2]),
+            "walk z std {} vs sit z std {}",
+            std_dev(&walk[2]),
+            std_dev(&sit[2])
+        );
+    }
+
+    #[test]
+    fn jumping_has_larger_peaks_than_walking() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = profile();
+        let jump = accel_window(&p, Activity::Jump, &mut rng);
+        let walk = accel_window(&p, Activity::Walk, &mut rng);
+        let peak = |x: &[f64]| x.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(peak(&jump[2]) > peak(&walk[2]) + 0.5);
+    }
+
+    #[test]
+    fn driving_adds_vibration_over_sitting() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = profile();
+        let drive = accel_window(&p, Activity::Drive, &mut rng);
+        let sit = accel_window(&p, Activity::Sit, &mut rng);
+        assert!(std_dev(&drive[2]) > 1.5 * std_dev(&sit[2]));
+        // But the gravity orientation is nearly the same (that is what makes
+        // them hard to separate without the accelerometer's AC content).
+        assert!((mean(&drive[2]) - mean(&sit[2])).abs() < 0.1);
+    }
+
+    #[test]
+    fn walking_cadence_shows_up_at_the_gait_frequency() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = profile();
+        let walk = accel_window(&p, Activity::Walk, &mut rng);
+        // Count mean crossings of the z-axis: about 2 * f * T.
+        let z = &walk[2];
+        let m = mean(z);
+        let crossings = z.windows(2).filter(|w| (w[0] - m) * (w[1] - m) < 0.0).count();
+        let expected = 2.0 * p.gait_freq_hz * 1.6;
+        // Harmonics and noise add a few extra crossings; allow slack.
+        assert!(
+            (crossings as f64) > 0.7 * expected && (crossings as f64) < 3.5 * expected,
+            "crossings = {crossings}, expected about {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_rng_seed() {
+        let p = profile();
+        let mut a = StdRng::seed_from_u64(6);
+        let mut b = StdRng::seed_from_u64(6);
+        let wa = accel_window(&p, Activity::Walk, &mut a);
+        let wb = accel_window(&p, Activity::Walk, &mut b);
+        assert_eq!(wa, wb);
+    }
+}

@@ -1,0 +1,206 @@
+//! Labeled activity windows.
+
+use rand::Rng;
+
+use crate::stretch::stretch_window;
+use crate::waveform::accel_window;
+use crate::{Activity, UserProfile};
+
+/// Sensor sampling rate (both sensors), as in the paper's prototype.
+pub const SAMPLE_RATE_HZ: f64 = 100.0;
+
+/// Activity window length in seconds (the paper's DP1 senses "the entire
+/// activity window of 1.6 s").
+pub const WINDOW_SECONDS: f64 = 1.6;
+
+/// Samples per window per channel: `100 Hz * 1.6 s`.
+pub const WINDOW_SAMPLES: usize = 160;
+
+/// One labeled 1.6-second sensor window: three accelerometer axes plus the
+/// stretch channel, all sampled at 100 Hz.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityWindow {
+    /// Which participant produced the window.
+    pub user_id: u8,
+    /// Ground-truth activity label.
+    pub label: Activity,
+    /// Accelerometer samples in g: `[x, y, z]`, each `WINDOW_SAMPLES` long.
+    pub accel: [Vec<f64>; 3],
+    /// Normalized stretch-sensor samples, `WINDOW_SAMPLES` long.
+    pub stretch: Vec<f64>,
+}
+
+/// Transition endpoints used when synthesizing [`Activity::Transition`]
+/// windows: the posture changes people actually perform.
+const TRANSITION_PAIRS: [(Activity, Activity); 6] = [
+    (Activity::Sit, Activity::Stand),
+    (Activity::Stand, Activity::Sit),
+    (Activity::Sit, Activity::LieDown),
+    (Activity::LieDown, Activity::Sit),
+    (Activity::Stand, Activity::Walk),
+    (Activity::Walk, Activity::Stand),
+];
+
+impl ActivityWindow {
+    /// Synthesizes one labeled window for `profile` performing `activity`.
+    ///
+    /// Transitions are composed by crossfading two endpoint activities with
+    /// a logistic blend plus a motion burst at the changeover, mimicking
+    /// the acceleration transient of postural change.
+    pub fn synthesize<R: Rng + ?Sized>(
+        profile: &UserProfile,
+        activity: Activity,
+        rng: &mut R,
+    ) -> Self {
+        match activity {
+            Activity::Transition => {
+                let (from, to) = TRANSITION_PAIRS[rng.gen_range(0..TRANSITION_PAIRS.len())];
+                let accel_from = accel_window(profile, from, rng);
+                let accel_to = accel_window(profile, to, rng);
+                let stretch_from = stretch_window(profile, from, rng);
+                let stretch_to = stretch_window(profile, to, rng);
+
+                // Changeover instant somewhere in the middle of the window.
+                let center: f64 = rng.gen_range(0.5..1.1);
+                let tau = 0.08; // blend sharpness in seconds
+                let weight = |t: f64| 1.0 / (1.0 + (-(t - center) / tau).exp());
+
+                let mut accel: [Vec<f64>; 3] = [
+                    Vec::with_capacity(WINDOW_SAMPLES),
+                    Vec::with_capacity(WINDOW_SAMPLES),
+                    Vec::with_capacity(WINDOW_SAMPLES),
+                ];
+                let mut stretch = Vec::with_capacity(WINDOW_SAMPLES);
+                for n in 0..WINDOW_SAMPLES {
+                    let t = n as f64 / SAMPLE_RATE_HZ;
+                    let w = weight(t);
+                    // Motion burst peaking at the changeover (w*(1-w) is
+                    // maximal at w = 1/2).
+                    let burst_env = 4.0 * w * (1.0 - w);
+                    for axis in 0..3 {
+                        let blended =
+                            (1.0 - w) * accel_from[axis][n] + w * accel_to[axis][n];
+                        let burst = burst_env * 0.35 * crate::noise::gauss(rng);
+                        accel[axis].push(blended + burst);
+                    }
+                    let s_blend = (1.0 - w) * stretch_from[n] + w * stretch_to[n];
+                    let s_burst = burst_env * 0.05 * crate::noise::gauss(rng);
+                    stretch.push((s_blend + s_burst).clamp(0.0, 1.0));
+                }
+                ActivityWindow {
+                    user_id: profile.id,
+                    label: Activity::Transition,
+                    accel,
+                    stretch,
+                }
+            }
+            other => ActivityWindow {
+                user_id: profile.id,
+                label: other,
+                accel: accel_window(profile, other, rng),
+                stretch: stretch_window(profile, other, rng),
+            },
+        }
+    }
+
+    /// Number of samples per channel (always [`WINDOW_SAMPLES`]).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stretch.len()
+    }
+
+    /// `true` if the window holds no samples (never, for synthesized
+    /// windows; present for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stretch.is_empty()
+    }
+
+    /// The first `fraction` of an accelerometer axis, as used by the
+    /// reduced-sensing-period design points (DP3 samples 50%, DP4 40% of
+    /// the window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `(0, 1]` or `axis > 2`.
+    #[must_use]
+    pub fn accel_prefix(&self, axis: usize, fraction: f64) -> &[f64] {
+        assert!(axis < 3, "axis {axis} out of range");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "sensing fraction {fraction} outside (0, 1]"
+        );
+        let n = ((self.accel[axis].len() as f64) * fraction).round() as usize;
+        &self.accel[axis][..n.max(1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn profile() -> UserProfile {
+        UserProfile::generate(2, 42)
+    }
+
+    #[test]
+    fn synthesized_windows_have_consistent_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for &activity in &Activity::ALL {
+            let w = ActivityWindow::synthesize(&profile(), activity, &mut rng);
+            assert_eq!(w.label, activity);
+            assert_eq!(w.len(), WINDOW_SAMPLES);
+            assert!(!w.is_empty());
+            for axis in &w.accel {
+                assert_eq!(axis.len(), WINDOW_SAMPLES);
+            }
+            assert_eq!(w.user_id, 2);
+        }
+    }
+
+    #[test]
+    fn transition_interpolates_between_postures() {
+        // Averaged over many transitions the early part and late part must
+        // differ (a transition goes somewhere); single windows may pick
+        // similar endpoints.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut moved = 0;
+        let total = 40;
+        for _ in 0..total {
+            let w = ActivityWindow::synthesize(&profile(), Activity::Transition, &mut rng);
+            let early: f64 = w.stretch[..30].iter().sum::<f64>() / 30.0;
+            let late: f64 = w.stretch[130..].iter().sum::<f64>() / 30.0;
+            if (early - late).abs() > 0.08 {
+                moved += 1;
+            }
+        }
+        assert!(moved > total / 2, "only {moved}/{total} transitions moved");
+    }
+
+    #[test]
+    fn accel_prefix_selects_sensing_period() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = ActivityWindow::synthesize(&profile(), Activity::Walk, &mut rng);
+        assert_eq!(w.accel_prefix(0, 1.0).len(), WINDOW_SAMPLES);
+        assert_eq!(w.accel_prefix(1, 0.5).len(), 80);
+        assert_eq!(w.accel_prefix(2, 0.4).len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "sensing fraction")]
+    fn accel_prefix_rejects_zero_fraction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = ActivityWindow::synthesize(&profile(), Activity::Sit, &mut rng);
+        let _ = w.accel_prefix(0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis")]
+    fn accel_prefix_rejects_bad_axis() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = ActivityWindow::synthesize(&profile(), Activity::Sit, &mut rng);
+        let _ = w.accel_prefix(3, 0.5);
+    }
+}

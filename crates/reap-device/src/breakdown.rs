@@ -1,0 +1,172 @@
+//! Hourly energy breakdown (the paper's Fig. 4).
+//!
+//! Fig. 4 shows where DP1's 9.9 J go over a one-hour activity period:
+//! about 47% is sensor energy, the rest MCU compute split across feature
+//! generation, classification, and sample handling.
+
+use std::fmt;
+
+use reap_har::{DesignPoint, StretchFeatures};
+use reap_units::Energy;
+
+use crate::constants::{windows_per_hour, ACCEL_BASE_MW, ACCEL_PER_AXIS_MW, MCU_COMPUTE_MW,
+    MCU_SAMPLE_HANDLING_MJ, STRETCH_MW};
+use crate::timing;
+
+/// Energy consumed by each subsystem over one hour of continuous
+/// operation at a design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Accelerometer sensing energy.
+    pub accel_sensor: Energy,
+    /// Stretch-sensor ADC energy.
+    pub stretch_sensor: Energy,
+    /// MCU energy spent on accelerometer features.
+    pub mcu_accel_features: Energy,
+    /// MCU energy spent on stretch features.
+    pub mcu_stretch_features: Energy,
+    /// MCU energy spent on NN inference.
+    pub mcu_nn: Energy,
+    /// MCU energy spent handling sampling interrupts.
+    pub mcu_sampling: Energy,
+}
+
+impl EnergyBreakdown {
+    /// Total hourly energy.
+    #[must_use]
+    pub fn total(&self) -> Energy {
+        self.accel_sensor
+            + self.stretch_sensor
+            + self.mcu_accel_features
+            + self.mcu_stretch_features
+            + self.mcu_nn
+            + self.mcu_sampling
+    }
+
+    /// Sensor share of the total, in `[0, 1]` (the paper reports ~47% for
+    /// DP1).
+    #[must_use]
+    pub fn sensor_fraction(&self) -> f64 {
+        (self.accel_sensor + self.stretch_sensor) / self.total()
+    }
+
+    /// `(label, energy)` pairs for reporting, in display order.
+    #[must_use]
+    pub fn components(&self) -> [(&'static str, Energy); 6] {
+        [
+            ("accelerometer sensing", self.accel_sensor),
+            ("stretch sensing", self.stretch_sensor),
+            ("mcu accel features", self.mcu_accel_features),
+            ("mcu stretch features", self.mcu_stretch_features),
+            ("mcu nn inference", self.mcu_nn),
+            ("mcu sample handling", self.mcu_sampling),
+        ]
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        for (label, e) in self.components() {
+            writeln!(
+                f,
+                "  {label:<24} {:>8.3} J  ({:>4.1}%)",
+                e.joules(),
+                e / total * 100.0
+            )?;
+        }
+        write!(f, "  {:<24} {:>8.3} J", "total", total.joules())
+    }
+}
+
+/// Computes the hourly energy breakdown of a design point running
+/// continuously (one classification per 1.6 s window).
+#[must_use]
+pub fn hourly_breakdown(point: &DesignPoint) -> EnergyBreakdown {
+    let config = &point.config;
+    let n = windows_per_hour();
+    let mj = Energy::from_millijoules;
+
+    let accel_sensor = if config.axes.count() > 0 {
+        let power_mw = ACCEL_BASE_MW + ACCEL_PER_AXIS_MW * config.axes.count() as f64;
+        mj(power_mw * config.sensing.seconds() * n)
+    } else {
+        Energy::ZERO
+    };
+    let stretch_sensor = if config.stretch_features == StretchFeatures::Off {
+        Energy::ZERO
+    } else {
+        mj(STRETCH_MW * reap_data::WINDOW_SECONDS * n)
+    };
+    let per_ms = MCU_COMPUTE_MW / 1000.0;
+    EnergyBreakdown {
+        accel_sensor,
+        stretch_sensor,
+        mcu_accel_features: mj(per_ms * timing::accel_feature_time(config).millis() * n),
+        mcu_stretch_features: mj(per_ms * timing::stretch_feature_time(config).millis() * n),
+        mcu_nn: mj(per_ms * timing::nn_time(config).millis() * n),
+        mcu_sampling: mj(MCU_SAMPLE_HANDLING_MJ * timing::total_samples(config) as f64 * n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dp1_breakdown_totals_about_9_9_joules() {
+        let dp1 = &DesignPoint::paper_five()[0];
+        let b = hourly_breakdown(dp1);
+        let total = b.total().joules();
+        assert!(
+            (total - 9.9).abs() < 0.5,
+            "DP1 hourly total {total} J, paper says 9.9 J"
+        );
+    }
+
+    #[test]
+    fn dp1_sensor_share_is_about_47_percent() {
+        // Fig. 4: "about 47% of the energy consumption is due to the
+        // sensors".
+        let dp1 = &DesignPoint::paper_five()[0];
+        let b = hourly_breakdown(dp1);
+        let frac = b.sensor_fraction();
+        assert!(
+            (0.40..=0.55).contains(&frac),
+            "sensor fraction {frac}, paper says ~0.47"
+        );
+    }
+
+    #[test]
+    fn breakdown_total_matches_characterization() {
+        for point in DesignPoint::paper_five() {
+            let b = hourly_breakdown(&point);
+            let c = crate::characterize(&point);
+            let per_window = c.total_energy().millijoules() * windows_per_hour();
+            assert!(
+                (b.total().millijoules() - per_window).abs() < 1.0,
+                "DP{} breakdown disagrees with characterization",
+                point.id
+            );
+        }
+    }
+
+    #[test]
+    fn dp5_has_no_accel_component() {
+        let dp5 = &DesignPoint::paper_five()[4];
+        let b = hourly_breakdown(dp5);
+        assert_eq!(b.accel_sensor, Energy::ZERO);
+        assert_eq!(b.mcu_accel_features, Energy::ZERO);
+        assert!(b.stretch_sensor.joules() > 0.0);
+    }
+
+    #[test]
+    fn display_lists_components_and_total() {
+        let b = hourly_breakdown(&DesignPoint::paper_five()[0]);
+        let s = b.to_string();
+        assert!(s.contains("accelerometer sensing"));
+        assert!(s.contains("total"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 7);
+    }
+}

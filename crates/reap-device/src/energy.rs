@@ -1,0 +1,138 @@
+//! Energy model: MCU and sensor energy per activity window.
+
+use reap_har::{DpConfig, StretchFeatures};
+use reap_units::Energy;
+
+use crate::constants::{
+    ACCEL_BASE_MW, ACCEL_PER_AXIS_MW, MCU_COMPUTE_MW, MCU_SAMPLE_HANDLING_MJ, STRETCH_MW,
+};
+use crate::timing;
+
+/// MCU energy per activity window: compute power over the execution time
+/// plus per-sample interrupt-handling overhead.
+#[must_use]
+pub fn mcu_energy(config: &DpConfig) -> Energy {
+    let exec_ms = timing::total_exec_time(config).millis();
+    let compute = MCU_COMPUTE_MW * exec_ms / 1000.0; // mW * ms / 1000 = mJ
+    let handling = MCU_SAMPLE_HANDLING_MJ * timing::total_samples(config) as f64;
+    Energy::from_millijoules(compute + handling)
+}
+
+/// Sensor energy per activity window: accelerometer (base plus per-axis
+/// power over the sensing period) and the stretch ADC chain (always the
+/// full window when enabled).
+#[must_use]
+pub fn sensor_energy(config: &DpConfig) -> Energy {
+    let accel = if config.axes.count() > 0 {
+        let power_mw = ACCEL_BASE_MW + ACCEL_PER_AXIS_MW * config.axes.count() as f64;
+        power_mw * config.sensing.seconds()
+    } else {
+        0.0
+    };
+    let stretch = if config.stretch_features == StretchFeatures::Off {
+        0.0
+    } else {
+        STRETCH_MW * reap_data::WINDOW_SECONDS
+    };
+    Energy::from_millijoules(accel + stretch)
+}
+
+/// Total energy per activity window (MCU + sensors), the paper's "Energy
+/// (mJ)" column.
+#[must_use]
+pub fn activity_energy(config: &DpConfig) -> Energy {
+    mcu_energy(config) + sensor_energy(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reap_har::DpConfig;
+
+    /// Table 2 energies (mJ): (MCU, sensor, total).
+    const TABLE2_ENERGY: [(f64, f64, f64); 5] = [
+        (2.38, 2.10, 4.48),
+        (2.29, 1.43, 3.72),
+        (2.10, 0.84, 2.94),
+        (2.09, 0.57, 2.66),
+        (1.85, 0.08, 1.93),
+    ];
+
+    fn rel_err(model: f64, paper: f64) -> f64 {
+        (model - paper).abs() / paper.abs().max(1e-9)
+    }
+
+    #[test]
+    fn mcu_energy_within_12_percent_of_table2() {
+        for (config, &(mcu, _, _)) in DpConfig::paper_pareto_5().iter().zip(TABLE2_ENERGY.iter())
+        {
+            let e = mcu_energy(config).millijoules();
+            assert!(
+                rel_err(e, mcu) < 0.12,
+                "{config}: model {e:.3} mJ vs paper {mcu} mJ"
+            );
+        }
+    }
+
+    #[test]
+    fn sensor_energy_within_12_percent_of_table2() {
+        for (config, &(_, sensor, _)) in
+            DpConfig::paper_pareto_5().iter().zip(TABLE2_ENERGY.iter())
+        {
+            let e = sensor_energy(config).millijoules();
+            assert!(
+                rel_err(e, sensor) < 0.12,
+                "{config}: model {e:.3} mJ vs paper {sensor} mJ"
+            );
+        }
+    }
+
+    #[test]
+    fn total_energy_within_8_percent_of_table2() {
+        for (config, &(_, _, total)) in
+            DpConfig::paper_pareto_5().iter().zip(TABLE2_ENERGY.iter())
+        {
+            let e = activity_energy(config).millijoules();
+            assert!(
+                rel_err(e, total) < 0.08,
+                "{config}: model {e:.3} mJ vs paper {total} mJ"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_ordering_matches_table2() {
+        let energies: Vec<f64> = DpConfig::paper_pareto_5()
+            .iter()
+            .map(|c| activity_energy(c).millijoules())
+            .collect();
+        for w in energies.windows(2) {
+            assert!(w[0] > w[1], "DP ordering violated: {energies:?}");
+        }
+    }
+
+    #[test]
+    fn more_axes_cost_more_sensor_energy() {
+        let dps = DpConfig::paper_pareto_5();
+        assert!(sensor_energy(&dps[0]) > sensor_energy(&dps[1])); // 3 axes > 1
+        assert!(sensor_energy(&dps[1]) > sensor_energy(&dps[4])); // accel > none
+    }
+
+    #[test]
+    fn shorter_sensing_costs_less() {
+        let mut full = DpConfig::paper_pareto_5()[1].clone();
+        let mut short = full.clone();
+        full.sensing = reap_har::SensingPeriod::Full;
+        short.sensing = reap_har::SensingPeriod::P40;
+        assert!(sensor_energy(&full) > sensor_energy(&short));
+        assert!(mcu_energy(&full) > mcu_energy(&short)); // fewer samples handled
+    }
+
+    #[test]
+    fn every_standard_config_is_within_physical_bounds() {
+        for config in DpConfig::standard_24() {
+            let e = activity_energy(&config).millijoules();
+            assert!(e > 0.5 && e < 6.0, "{config}: {e} mJ per activity");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! BLE radio energy model: result transmission vs. raw-data offloading.
+//!
+//! Sec. 4.2 of the paper evaluates sending raw sensor data to a host for
+//! remote classification: 5.5 mJ per activity, versus 0.38 mJ for just the
+//! recognized label — the observation that justifies on-device inference.
+
+use reap_har::{DpConfig, StretchFeatures};
+use reap_units::Energy;
+
+use crate::constants::{
+    BLE_OFFLOAD_OVERHEAD_MJ, BLE_PER_BYTE_MJ, BLE_RESULT_TX_MJ, BYTES_PER_SAMPLE,
+};
+use crate::timing;
+
+/// Energy to transmit one recognized activity label over BLE.
+#[must_use]
+pub fn result_tx_energy() -> Energy {
+    Energy::from_millijoules(BLE_RESULT_TX_MJ)
+}
+
+/// Raw payload bytes one window produces under `config` (16-bit samples
+/// from every powered channel).
+#[must_use]
+pub fn raw_payload_bytes(config: &DpConfig) -> usize {
+    let accel = timing::accel_samples_per_axis(config) * config.axes.count();
+    let stretch = if config.stretch_features == StretchFeatures::Off {
+        0
+    } else {
+        reap_data::WINDOW_SAMPLES
+    };
+    ((accel + stretch) as f64 * BYTES_PER_SAMPLE) as usize
+}
+
+/// Energy to offload one window's raw samples over BLE instead of
+/// classifying on-device.
+#[must_use]
+pub fn raw_offload_energy(config: &DpConfig) -> Energy {
+    Energy::from_millijoules(
+        BLE_OFFLOAD_OVERHEAD_MJ + BLE_PER_BYTE_MJ * raw_payload_bytes(config) as f64,
+    )
+}
+
+/// The offloading comparison of Sec. 4.2 for a configuration: `(raw
+/// offload, on-device result TX)` energies. Offloading always loses for
+/// any non-trivial sensor set.
+#[must_use]
+pub fn offload_comparison(config: &DpConfig) -> (Energy, Energy) {
+    (raw_offload_energy(config), result_tx_energy())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reap_har::DpConfig;
+
+    #[test]
+    fn full_sensor_set_offload_costs_5_5_mj() {
+        let dp1 = &DpConfig::paper_pareto_5()[0];
+        assert_eq!(raw_payload_bytes(dp1), 1280);
+        let (raw, result) = offload_comparison(dp1);
+        assert!((raw.millijoules() - 5.5).abs() < 1e-9);
+        assert!((result.millijoules() - 0.38).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offloading_always_loses_on_device_classification() {
+        for config in DpConfig::standard_24() {
+            let (raw, result) = offload_comparison(&config);
+            assert!(
+                raw > result,
+                "{config}: raw {raw} should exceed result {result}"
+            );
+            // Offloading even exceeds the whole on-device pipeline energy.
+            let on_device = crate::energy::activity_energy(&config) + result;
+            assert!(
+                raw + crate::energy::sensor_energy(&config) > on_device * 0.5,
+                "{config}: sanity"
+            );
+        }
+    }
+
+    #[test]
+    fn fewer_channels_shrink_the_payload() {
+        let dps = DpConfig::paper_pareto_5();
+        assert!(raw_payload_bytes(&dps[0]) > raw_payload_bytes(&dps[1]));
+        assert!(raw_payload_bytes(&dps[1]) > raw_payload_bytes(&dps[4]));
+        assert_eq!(raw_payload_bytes(&dps[4]), 320); // stretch only
+    }
+}

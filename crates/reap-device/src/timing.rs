@@ -1,0 +1,177 @@
+//! Execution-time model: how long each pipeline stage takes on the MCU.
+
+use reap_har::{AccelFeatures, DpConfig, StretchFeatures};
+use reap_units::TimeSpan;
+
+use crate::constants::{
+    DWT_FEATURE_BASE_MS, DWT_FEATURE_PER_SAMPLE_MS, NN_BASE_MS, NN_PER_MAC_MS,
+    STAT_FEATURE_BASE_MS, STAT_FEATURE_PER_SAMPLE_MS, STRETCH_FFT_MS,
+};
+
+/// Samples the accelerometer delivers per axis for this configuration.
+#[must_use]
+pub fn accel_samples_per_axis(config: &DpConfig) -> usize {
+    (reap_data::WINDOW_SAMPLES as f64 * config.sensing.fraction()).round() as usize
+}
+
+/// Total sensor samples the MCU handles per window (all accel axes plus
+/// the stretch channel when its features are enabled).
+#[must_use]
+pub fn total_samples(config: &DpConfig) -> usize {
+    let accel = accel_samples_per_axis(config) * config.axes.count();
+    let stretch = if config.stretch_features == StretchFeatures::Off {
+        0
+    } else {
+        reap_data::WINDOW_SAMPLES
+    };
+    accel + stretch
+}
+
+/// Time to compute the accelerometer features of one window.
+#[must_use]
+pub fn accel_feature_time(config: &DpConfig) -> TimeSpan {
+    let samples = accel_samples_per_axis(config) as f64;
+    let per_axis_ms = match config.accel_features {
+        AccelFeatures::Statistical => STAT_FEATURE_BASE_MS + STAT_FEATURE_PER_SAMPLE_MS * samples,
+        AccelFeatures::Dwt => {
+            // The DWT runs on the largest power-of-two prefix.
+            let pow2 = prev_power_of_two(samples as usize) as f64;
+            DWT_FEATURE_BASE_MS + DWT_FEATURE_PER_SAMPLE_MS * pow2
+        }
+        AccelFeatures::Off => 0.0,
+    };
+    TimeSpan::from_millis(per_axis_ms * config.axes.count() as f64)
+}
+
+/// Time to compute the stretch features of one window.
+#[must_use]
+pub fn stretch_feature_time(config: &DpConfig) -> TimeSpan {
+    let ms = match config.stretch_features {
+        StretchFeatures::Fft16 => STRETCH_FFT_MS,
+        StretchFeatures::Statistical => {
+            STAT_FEATURE_BASE_MS + STAT_FEATURE_PER_SAMPLE_MS * reap_data::WINDOW_SAMPLES as f64
+        }
+        StretchFeatures::Off => 0.0,
+    };
+    TimeSpan::from_millis(ms)
+}
+
+/// Time for one neural-network inference.
+#[must_use]
+pub fn nn_time(config: &DpConfig) -> TimeSpan {
+    let macs = config
+        .nn
+        .mac_count(config.feature_dim(), reap_data::Activity::COUNT);
+    TimeSpan::from_millis(NN_BASE_MS + NN_PER_MAC_MS * macs as f64)
+}
+
+/// Total MCU execution time per activity window.
+#[must_use]
+pub fn total_exec_time(config: &DpConfig) -> TimeSpan {
+    accel_feature_time(config) + stretch_feature_time(config) + nn_time(config)
+}
+
+fn prev_power_of_two(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    let mut p = 1;
+    while p * 2 <= n {
+        p *= 2;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reap_har::DpConfig;
+
+    /// Table 2 "MCU exec. time distribution" (ms):
+    /// (accel features, stretch features, NN, total).
+    const TABLE2_TIMES: [(f64, f64, f64, f64); 5] = [
+        (0.83, 3.83, 1.05, 5.71),
+        (0.27, 3.83, 1.00, 5.10),
+        (0.27, 3.83, 0.90, 5.00),
+        (0.14, 3.83, 1.00, 4.97),
+        (0.00, 3.83, 0.88, 4.71),
+    ];
+
+    fn rel_err(model: f64, paper: f64) -> f64 {
+        if paper == 0.0 {
+            model.abs()
+        } else {
+            (model - paper).abs() / paper
+        }
+    }
+
+    #[test]
+    fn model_reproduces_table2_totals_within_3_percent() {
+        for (config, &(_, _, _, total)) in
+            DpConfig::paper_pareto_5().iter().zip(TABLE2_TIMES.iter())
+        {
+            let t = total_exec_time(config).millis();
+            assert!(
+                rel_err(t, total) < 0.03,
+                "{config}: model {t:.3} ms vs paper {total} ms"
+            );
+        }
+    }
+
+    #[test]
+    fn model_reproduces_table2_components_within_tolerance() {
+        for (config, &(accel, stretch, nn, _)) in
+            DpConfig::paper_pareto_5().iter().zip(TABLE2_TIMES.iter())
+        {
+            assert!(
+                rel_err(accel_feature_time(config).millis(), accel) < 0.30,
+                "{config}: accel {} vs {accel}",
+                accel_feature_time(config).millis()
+            );
+            assert!(
+                rel_err(stretch_feature_time(config).millis(), stretch) < 0.01,
+                "{config}: stretch"
+            );
+            assert!(
+                rel_err(nn_time(config).millis(), nn) < 0.08,
+                "{config}: nn {} vs {nn}",
+                nn_time(config).millis()
+            );
+        }
+    }
+
+    #[test]
+    fn sample_counts() {
+        let dps = DpConfig::paper_pareto_5();
+        assert_eq!(accel_samples_per_axis(&dps[0]), 160);
+        assert_eq!(accel_samples_per_axis(&dps[2]), 80);
+        assert_eq!(accel_samples_per_axis(&dps[3]), 60);
+        assert_eq!(total_samples(&dps[0]), 3 * 160 + 160);
+        assert_eq!(total_samples(&dps[4]), 160);
+    }
+
+    #[test]
+    fn more_axes_or_longer_sensing_never_runs_faster() {
+        let dps = DpConfig::paper_pareto_5();
+        // DP1 (3 axes, full window) vs DP2 (1 axis, full window).
+        assert!(accel_feature_time(&dps[0]) > accel_feature_time(&dps[1]));
+        // DP2 (full window) vs DP4 (40%).
+        assert!(accel_feature_time(&dps[1]) > accel_feature_time(&dps[3]));
+    }
+
+    #[test]
+    fn dwt_costs_more_than_stats() {
+        let mut stats = DpConfig::paper_pareto_5()[0].clone();
+        let mut dwt = stats.clone();
+        stats.accel_features = reap_har::AccelFeatures::Statistical;
+        dwt.accel_features = reap_har::AccelFeatures::Dwt;
+        assert!(accel_feature_time(&dwt) > accel_feature_time(&stats));
+    }
+
+    #[test]
+    fn every_standard_config_has_positive_time() {
+        for config in DpConfig::standard_24() {
+            let t = total_exec_time(&config);
+            assert!(t.millis() > 0.5, "{config}: {t}");
+            assert!(t.millis() < 10.0, "{config}: {t}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the device model: physical monotonicity and
+//! consistency laws that must hold for *every* design-point
+//! configuration, not just the Table 2 five.
+
+use proptest::prelude::*;
+use reap_device::{characterize, energy, radio, timing};
+use reap_har::{
+    AccelAxes, AccelFeatures, DesignPoint, DpConfig, NnStructure, SensingPeriod, StretchFeatures,
+};
+
+fn arb_config() -> impl Strategy<Value = DpConfig> {
+    let axes = prop_oneof![
+        Just(AccelAxes::Xyz),
+        Just(AccelAxes::Xy),
+        Just(AccelAxes::X),
+        Just(AccelAxes::Y),
+        Just(AccelAxes::Off),
+    ];
+    let sensing = prop_oneof![
+        Just(SensingPeriod::Full),
+        Just(SensingPeriod::P75),
+        Just(SensingPeriod::P50),
+        Just(SensingPeriod::P40),
+    ];
+    let accel_features = prop_oneof![
+        Just(AccelFeatures::Statistical),
+        Just(AccelFeatures::Dwt),
+    ];
+    let stretch = prop_oneof![
+        Just(StretchFeatures::Fft16),
+        Just(StretchFeatures::Statistical),
+        Just(StretchFeatures::Off),
+    ];
+    let nn = prop_oneof![
+        Just(NnStructure::Hidden12),
+        Just(NnStructure::Hidden8),
+        Just(NnStructure::Direct),
+    ];
+    (axes, sensing, accel_features, stretch, nn).prop_filter_map(
+        "valid combination",
+        |(axes, sensing, accel_features, stretch_features, nn)| {
+            let accel_features = if axes == AccelAxes::Off {
+                AccelFeatures::Off
+            } else {
+                accel_features
+            };
+            let config = DpConfig {
+                axes,
+                sensing,
+                accel_features,
+                stretch_features,
+                nn,
+            };
+            config.validate().ok().map(|()| config)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn energies_and_times_are_physical(config in arb_config()) {
+        let t = timing::total_exec_time(&config);
+        prop_assert!(t.millis() > 0.0 && t.millis() < 20.0, "exec time {t}");
+        let e = energy::activity_energy(&config);
+        prop_assert!(
+            e.millijoules() > 0.1 && e.millijoules() < 10.0,
+            "activity energy {e}"
+        );
+        prop_assert!(energy::mcu_energy(&config).millijoules() > 0.0);
+        prop_assert!(energy::sensor_energy(&config).millijoules() >= 0.0);
+    }
+
+    #[test]
+    fn longer_sensing_never_costs_less(config in arb_config()) {
+        prop_assume!(config.axes != AccelAxes::Off);
+        let mut shorter = config.clone();
+        shorter.sensing = SensingPeriod::P40;
+        let mut longer = config.clone();
+        longer.sensing = SensingPeriod::Full;
+        prop_assert!(energy::sensor_energy(&longer) >= energy::sensor_energy(&shorter));
+        prop_assert!(energy::mcu_energy(&longer) >= energy::mcu_energy(&shorter));
+    }
+
+    #[test]
+    fn more_axes_never_cost_less(config in arb_config()) {
+        prop_assume!(config.axes != AccelAxes::Off);
+        let mut one = config.clone();
+        one.axes = AccelAxes::Y;
+        let mut three = config.clone();
+        three.axes = AccelAxes::Xyz;
+        prop_assert!(energy::sensor_energy(&three) > energy::sensor_energy(&one));
+        prop_assert!(timing::accel_feature_time(&three) > timing::accel_feature_time(&one));
+        prop_assert!(radio::raw_payload_bytes(&three) > radio::raw_payload_bytes(&one));
+    }
+
+    #[test]
+    fn characterization_is_internally_consistent(config in arb_config(), acc in 0.3f64..1.0) {
+        let point = DesignPoint::new(7, config, acc).expect("valid");
+        let c = characterize(&point);
+        // Total = MCU + sensor.
+        prop_assert!(
+            (c.total_energy().millijoules()
+                - c.mcu_energy.millijoules()
+                - c.sensor_energy.millijoules()).abs() < 1e-12
+        );
+        // Power * window = total energy.
+        let window = reap_data::WINDOW_SECONDS;
+        prop_assert!(
+            (c.average_power.watts() * window - c.total_energy().joules()).abs() < 1e-12
+        );
+        // Times add up.
+        let t = c.times;
+        prop_assert!(
+            (t.total().millis()
+                - t.accel_features.millis()
+                - t.stretch_features.millis()
+                - t.nn.millis()).abs() < 1e-12
+        );
+        // The operating-point view preserves identity.
+        let op = c.operating_point();
+        prop_assert_eq!(op.id(), 7);
+        prop_assert!((op.accuracy() - acc).abs() < 1e-12);
+        prop_assert!((op.power().watts() - c.average_power.watts()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn offloading_always_loses(config in arb_config()) {
+        let (raw, result) = radio::offload_comparison(&config);
+        // Raw offload (which still pays for sensing) must beat the full
+        // on-device pipeline plus result TX in no configuration.
+        let local_total = energy::activity_energy(&config) + result;
+        let offload_total = raw + energy::sensor_energy(&config);
+        prop_assert!(
+            offload_total > local_total,
+            "{config}: offload {offload_total} <= local {local_total}"
+        );
+    }
+}

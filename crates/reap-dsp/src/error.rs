@@ -1,0 +1,52 @@
+//! Error type for DSP kernels.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the DSP kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// The input length must be a power of two (FFT, DWT).
+    NotPowerOfTwo {
+        /// Offending input length.
+        len: usize,
+    },
+    /// The input was empty but the kernel needs at least one sample.
+    EmptyInput,
+    /// The input was shorter than the kernel's minimum length.
+    TooShort {
+        /// Offending input length.
+        len: usize,
+        /// Minimum supported length.
+        min: usize,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::NotPowerOfTwo { len } => {
+                write!(f, "input length {len} is not a power of two")
+            }
+            DspError::EmptyInput => write!(f, "input is empty"),
+            DspError::TooShort { len, min } => {
+                write!(f, "input length {len} is shorter than the minimum {min}")
+            }
+        }
+    }
+}
+
+impl Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(DspError::NotPowerOfTwo { len: 3 }.to_string().contains('3'));
+        assert!(DspError::EmptyInput.to_string().contains("empty"));
+        assert!(DspError::TooShort { len: 2, min: 4 }.to_string().contains('4'));
+    }
+}

@@ -1,0 +1,496 @@
+//! Design-point configuration knobs (Fig. 2 of the paper).
+
+use std::fmt;
+
+use crate::HarError;
+
+/// Which accelerometer axes are powered and sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccelAxes {
+    /// All three axes.
+    Xyz,
+    /// Lateral and forward axes.
+    Xy,
+    /// Lateral axis only.
+    X,
+    /// Forward axis only (the paper's single-axis choice: the y axis
+    /// carries the most gait information).
+    Y,
+    /// Accelerometer fully off.
+    Off,
+}
+
+impl AccelAxes {
+    /// Number of active axes.
+    #[must_use]
+    pub fn count(self) -> usize {
+        match self {
+            AccelAxes::Xyz => 3,
+            AccelAxes::Xy => 2,
+            AccelAxes::X | AccelAxes::Y => 1,
+            AccelAxes::Off => 0,
+        }
+    }
+
+    /// Indices (into `[x, y, z]`) of the active axes.
+    #[must_use]
+    pub fn indices(self) -> &'static [usize] {
+        match self {
+            AccelAxes::Xyz => &[0, 1, 2],
+            AccelAxes::Xy => &[0, 1],
+            AccelAxes::X => &[0],
+            AccelAxes::Y => &[1],
+            AccelAxes::Off => &[],
+        }
+    }
+}
+
+impl fmt::Display for AccelAxes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccelAxes::Xyz => "x+y+z",
+            AccelAxes::Xy => "x+y",
+            AccelAxes::X => "x",
+            AccelAxes::Y => "y",
+            AccelAxes::Off => "off",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Fraction of the 1.6 s activity window during which the accelerometer
+/// stays on. (The stretch sensor, being passive and cheap, always samples
+/// the full window, as in the paper.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SensingPeriod {
+    /// 100% — the full 1.6 s.
+    Full,
+    /// 75% — 1.2 s.
+    P75,
+    /// 50% — 0.8 s (DP3).
+    P50,
+    /// "40%" — 0.6 s (DP4). The paper labels 0.6 s as 40%; the exact
+    /// fraction 0.6/1.6 = 0.375 is used here so energies match.
+    P40,
+}
+
+impl SensingPeriod {
+    /// The on-fraction of the window.
+    #[must_use]
+    pub fn fraction(self) -> f64 {
+        match self {
+            SensingPeriod::Full => 1.0,
+            SensingPeriod::P75 => 0.75,
+            SensingPeriod::P50 => 0.5,
+            SensingPeriod::P40 => 0.375,
+        }
+    }
+
+    /// Sensing time in seconds for a 1.6 s window.
+    #[must_use]
+    pub fn seconds(self) -> f64 {
+        self.fraction() * reap_data::WINDOW_SECONDS
+    }
+}
+
+impl fmt::Display for SensingPeriod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SensingPeriod::Full => "100%",
+            SensingPeriod::P75 => "75%",
+            SensingPeriod::P50 => "50%",
+            SensingPeriod::P40 => "40%",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Feature family computed from the accelerometer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccelFeatures {
+    /// Six summary statistics per active axis (mean, std, min, max, rms,
+    /// mean crossings).
+    Statistical,
+    /// Haar-DWT subband energies (3 levels -> 4 values) per active axis.
+    Dwt,
+    /// No accelerometer features.
+    Off,
+}
+
+impl fmt::Display for AccelFeatures {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccelFeatures::Statistical => "stats",
+            AccelFeatures::Dwt => "dwt",
+            AccelFeatures::Off => "off",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Feature family computed from the stretch sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StretchFeatures {
+    /// Magnitudes of a 16-point FFT (9 non-redundant bins), the feature
+    /// every Table 2 design point uses.
+    Fft16,
+    /// Six summary statistics of the stretch signal.
+    Statistical,
+    /// No stretch features.
+    Off,
+}
+
+impl fmt::Display for StretchFeatures {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StretchFeatures::Fft16 => "16-fft",
+            StretchFeatures::Statistical => "stats",
+            StretchFeatures::Off => "off",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Neural-network classifier structure (hidden layer sizes; the output is
+/// always the 7 activity classes). Mirrors the paper's `4x12x7`, `4x8x7`
+/// and `4x7` structures, whose input width follows from the feature set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NnStructure {
+    /// One hidden layer of 12 units.
+    Hidden12,
+    /// One hidden layer of 8 units.
+    Hidden8,
+    /// No hidden layer: direct softmax on the features.
+    Direct,
+}
+
+impl NnStructure {
+    /// Hidden layer sizes.
+    #[must_use]
+    pub fn hidden_sizes(self) -> &'static [usize] {
+        match self {
+            NnStructure::Hidden12 => &[12],
+            NnStructure::Hidden8 => &[8],
+            NnStructure::Direct => &[],
+        }
+    }
+
+    /// Full layer-size vector for an input of `input_dim` features and
+    /// `classes` outputs.
+    #[must_use]
+    pub fn layer_sizes(self, input_dim: usize, classes: usize) -> Vec<usize> {
+        let mut sizes = vec![input_dim];
+        sizes.extend_from_slice(self.hidden_sizes());
+        sizes.push(classes);
+        sizes
+    }
+
+    /// Multiply-accumulate operations of one inference pass, the quantity
+    /// the device timing model scales with.
+    #[must_use]
+    pub fn mac_count(self, input_dim: usize, classes: usize) -> usize {
+        let sizes = self.layer_sizes(input_dim, classes);
+        sizes.windows(2).map(|w| w[0] * w[1]).sum()
+    }
+}
+
+impl fmt::Display for NnStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NnStructure::Hidden12 => "h12",
+            NnStructure::Hidden8 => "h8",
+            NnStructure::Direct => "direct",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A complete design-point configuration: one choice per knob.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DpConfig {
+    /// Active accelerometer axes.
+    pub axes: AccelAxes,
+    /// Accelerometer sensing period.
+    pub sensing: SensingPeriod,
+    /// Accelerometer feature family.
+    pub accel_features: AccelFeatures,
+    /// Stretch feature family.
+    pub stretch_features: StretchFeatures,
+    /// Classifier structure.
+    pub nn: NnStructure,
+}
+
+/// Number of activity classes (six activities + transitions).
+pub(crate) const NUM_CLASSES: usize = reap_data::Activity::COUNT;
+
+impl DpConfig {
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`HarError::InvalidConfig`] when accel features are requested with
+    /// the accelerometer off (or vice versa), or when no feature source is
+    /// enabled at all.
+    pub fn validate(&self) -> Result<(), HarError> {
+        if self.axes == AccelAxes::Off && self.accel_features != AccelFeatures::Off {
+            return Err(HarError::InvalidConfig(
+                "accelerometer features requested but all axes are off".into(),
+            ));
+        }
+        if self.axes != AccelAxes::Off && self.accel_features == AccelFeatures::Off {
+            return Err(HarError::InvalidConfig(
+                "accelerometer axes are powered but produce no features".into(),
+            ));
+        }
+        if self.accel_features == AccelFeatures::Off && self.stretch_features == StretchFeatures::Off
+        {
+            return Err(HarError::InvalidConfig(
+                "no feature source enabled".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Dimension of the feature vector this configuration produces.
+    #[must_use]
+    pub fn feature_dim(&self) -> usize {
+        let accel = match self.accel_features {
+            AccelFeatures::Statistical => 6 * self.axes.count(),
+            AccelFeatures::Dwt => 4 * self.axes.count(),
+            AccelFeatures::Off => 0,
+        };
+        let stretch = match self.stretch_features {
+            StretchFeatures::Fft16 => 9,
+            StretchFeatures::Statistical => 6,
+            StretchFeatures::Off => 0,
+        };
+        accel + stretch
+    }
+
+    /// The five Pareto-optimal design points of the paper's Table 2, in
+    /// order DP1..DP5.
+    #[must_use]
+    pub fn paper_pareto_5() -> [DpConfig; 5] {
+        [
+            // DP1: statistical features of all three axes over the full
+            // window + 16-FFT stretch.
+            DpConfig {
+                axes: AccelAxes::Xyz,
+                sensing: SensingPeriod::Full,
+                accel_features: AccelFeatures::Statistical,
+                stretch_features: StretchFeatures::Fft16,
+                nn: NnStructure::Hidden12,
+            },
+            // DP2: y axis only, full window.
+            DpConfig {
+                axes: AccelAxes::Y,
+                sensing: SensingPeriod::Full,
+                accel_features: AccelFeatures::Statistical,
+                stretch_features: StretchFeatures::Fft16,
+                nn: NnStructure::Hidden12,
+            },
+            // DP3: x+y axes for 50% of the window (0.8 s).
+            DpConfig {
+                axes: AccelAxes::Xy,
+                sensing: SensingPeriod::P50,
+                accel_features: AccelFeatures::Statistical,
+                stretch_features: StretchFeatures::Fft16,
+                nn: NnStructure::Hidden8,
+            },
+            // DP4: y axis for 40% of the window (0.6 s).
+            DpConfig {
+                axes: AccelAxes::Y,
+                sensing: SensingPeriod::P40,
+                accel_features: AccelFeatures::Statistical,
+                stretch_features: StretchFeatures::Fft16,
+                nn: NnStructure::Hidden12,
+            },
+            // DP5: stretch sensor only.
+            DpConfig {
+                axes: AccelAxes::Off,
+                sensing: SensingPeriod::Full,
+                accel_features: AccelFeatures::Off,
+                stretch_features: StretchFeatures::Fft16,
+                nn: NnStructure::Hidden8,
+            },
+        ]
+    }
+
+    /// The 24 candidate design points implemented in the paper (Sec. 4.2).
+    /// The first five entries are the Pareto-optimal DP1..DP5; the rest
+    /// explore the knob space and are dominated in the energy-accuracy
+    /// plane (Fig. 3).
+    #[must_use]
+    pub fn standard_24() -> Vec<DpConfig> {
+        use AccelAxes as A;
+        use AccelFeatures as F;
+        use NnStructure as N;
+        use SensingPeriod as S;
+        use StretchFeatures as T;
+
+        let dp = |axes, sensing, accel_features, stretch_features, nn| DpConfig {
+            axes,
+            sensing,
+            accel_features,
+            stretch_features,
+            nn,
+        };
+
+        let mut v = Vec::with_capacity(24);
+        v.extend(DpConfig::paper_pareto_5());
+        // Feature-richness variants of the full configuration.
+        v.push(dp(A::Xyz, S::Full, F::Dwt, T::Fft16, N::Hidden12));
+        v.push(dp(A::Xyz, S::Full, F::Statistical, T::Fft16, N::Hidden8));
+        v.push(dp(A::Xyz, S::Full, F::Statistical, T::Fft16, N::Direct));
+        // Reduced sensing with all axes.
+        v.push(dp(A::Xyz, S::P75, F::Statistical, T::Fft16, N::Hidden12));
+        v.push(dp(A::Xyz, S::P50, F::Statistical, T::Fft16, N::Hidden12));
+        // Two-axis family.
+        v.push(dp(A::Xy, S::Full, F::Statistical, T::Fft16, N::Hidden12));
+        v.push(dp(A::Xy, S::Full, F::Dwt, T::Fft16, N::Hidden12));
+        v.push(dp(A::Xy, S::P75, F::Statistical, T::Fft16, N::Hidden8));
+        v.push(dp(A::Xy, S::P40, F::Statistical, T::Fft16, N::Hidden8));
+        // Single-axis x (less informative than y: dominated).
+        v.push(dp(A::X, S::Full, F::Statistical, T::Fft16, N::Hidden12));
+        v.push(dp(A::X, S::P50, F::Statistical, T::Fft16, N::Hidden8));
+        // Single-axis y variants.
+        v.push(dp(A::Y, S::P75, F::Statistical, T::Fft16, N::Hidden12));
+        v.push(dp(A::Y, S::P50, F::Statistical, T::Fft16, N::Hidden12));
+        v.push(dp(A::Y, S::Full, F::Dwt, T::Fft16, N::Hidden8));
+        // Stretch-statistics instead of the FFT.
+        v.push(dp(A::Y, S::Full, F::Statistical, T::Statistical, N::Hidden12));
+        v.push(dp(A::Xyz, S::Full, F::Dwt, T::Statistical, N::Hidden12));
+        // Further all-axes variants (reduced sensing with a small NN, and
+        // a mid-period DWT point).
+        v.push(dp(A::Xyz, S::P40, F::Statistical, T::Fft16, N::Hidden8));
+        v.push(dp(A::Xyz, S::P75, F::Dwt, T::Fft16, N::Hidden12));
+        // A deeper-NN stretch-only variant.
+        v.push(dp(A::Off, S::Full, F::Off, T::Fft16, N::Hidden12));
+        debug_assert_eq!(v.len(), 24);
+        v
+    }
+
+    /// One-line human-readable description.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!(
+            "accel {} ({}, {}), stretch {}, nn {}",
+            self.axes, self.sensing, self.accel_features, self.stretch_features, self.nn
+        )
+    }
+}
+
+impl fmt::Display for DpConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axes_counts_and_indices_agree() {
+        for axes in [AccelAxes::Xyz, AccelAxes::Xy, AccelAxes::X, AccelAxes::Y, AccelAxes::Off] {
+            assert_eq!(axes.count(), axes.indices().len());
+        }
+        assert_eq!(AccelAxes::Y.indices(), &[1]);
+    }
+
+    #[test]
+    fn sensing_periods_match_paper_seconds() {
+        assert!((SensingPeriod::Full.seconds() - 1.6).abs() < 1e-12);
+        assert!((SensingPeriod::P50.seconds() - 0.8).abs() < 1e-12);
+        // The paper's "40%" sensing period is 0.6 s.
+        assert!((SensingPeriod::P40.seconds() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nn_mac_counts() {
+        // 20 -> 12 -> 7: 20*12 + 12*7 = 324.
+        assert_eq!(NnStructure::Hidden12.mac_count(20, 7), 324);
+        // Direct 9 -> 7: 63.
+        assert_eq!(NnStructure::Direct.mac_count(9, 7), 63);
+        assert_eq!(NnStructure::Hidden8.layer_sizes(9, 7), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn paper_pareto_5_is_valid_and_matches_table2_descriptions() {
+        let dps = DpConfig::paper_pareto_5();
+        for dp in &dps {
+            dp.validate().unwrap();
+            assert_eq!(dp.stretch_features, StretchFeatures::Fft16);
+        }
+        assert_eq!(dps[0].axes, AccelAxes::Xyz);
+        assert_eq!(dps[1].axes, AccelAxes::Y);
+        assert_eq!(dps[2].axes, AccelAxes::Xy);
+        assert_eq!(dps[2].sensing, SensingPeriod::P50);
+        assert_eq!(dps[3].sensing, SensingPeriod::P40);
+        assert_eq!(dps[4].axes, AccelAxes::Off);
+    }
+
+    #[test]
+    fn standard_24_is_valid_and_distinct() {
+        let all = DpConfig::standard_24();
+        assert_eq!(all.len(), 24);
+        for dp in &all {
+            dp.validate().unwrap();
+        }
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b, "duplicate design point at index {i}");
+            }
+        }
+        // First five are the Pareto set.
+        assert_eq!(&all[..5], &DpConfig::paper_pareto_5());
+    }
+
+    #[test]
+    fn feature_dims() {
+        let dps = DpConfig::paper_pareto_5();
+        assert_eq!(dps[0].feature_dim(), 18 + 9); // 3 axes * 6 stats + 9 FFT
+        assert_eq!(dps[1].feature_dim(), 6 + 9);
+        assert_eq!(dps[2].feature_dim(), 12 + 9);
+        assert_eq!(dps[4].feature_dim(), 9);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = DpConfig {
+            axes: AccelAxes::Off,
+            sensing: SensingPeriod::Full,
+            accel_features: AccelFeatures::Statistical,
+            stretch_features: StretchFeatures::Fft16,
+            nn: NnStructure::Hidden8,
+        };
+        assert!(bad.validate().is_err());
+        let bad2 = DpConfig {
+            axes: AccelAxes::Xy,
+            sensing: SensingPeriod::Full,
+            accel_features: AccelFeatures::Off,
+            stretch_features: StretchFeatures::Fft16,
+            nn: NnStructure::Hidden8,
+        };
+        assert!(bad2.validate().is_err());
+        let bad3 = DpConfig {
+            axes: AccelAxes::Off,
+            sensing: SensingPeriod::Full,
+            accel_features: AccelFeatures::Off,
+            stretch_features: StretchFeatures::Off,
+            nn: NnStructure::Hidden8,
+        };
+        assert!(bad3.validate().is_err());
+    }
+
+    #[test]
+    fn describe_mentions_every_knob() {
+        let dp = &DpConfig::paper_pareto_5()[0];
+        let d = dp.describe();
+        assert!(d.contains("x+y+z"));
+        assert!(d.contains("100%"));
+        assert!(d.contains("16-fft"));
+        assert!(d.contains("h12"));
+        assert_eq!(dp.to_string(), d);
+    }
+}

@@ -1,0 +1,102 @@
+//! Design points: a configuration plus its measured accuracy.
+
+use std::fmt;
+
+use crate::{DpConfig, HarError};
+
+/// A design point: one configuration of the HAR pipeline together with its
+/// measured recognition accuracy.
+///
+/// Energy and power characterization is added by the `reap-device` crate
+/// (which depends on this one); keeping the accuracy-only type here lets
+/// the HAR pipeline be tested without a device model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// 1-based identifier (DP1..DP24 in the paper's terminology).
+    pub id: u8,
+    /// Pipeline configuration.
+    pub config: DpConfig,
+    /// Recognition accuracy in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+impl DesignPoint {
+    /// Creates a design point, validating the configuration and accuracy.
+    ///
+    /// # Errors
+    ///
+    /// [`HarError::InvalidConfig`] if the configuration is inconsistent or
+    /// the accuracy is outside `[0, 1]`.
+    pub fn new(id: u8, config: DpConfig, accuracy: f64) -> Result<DesignPoint, HarError> {
+        config.validate()?;
+        if !(0.0..=1.0).contains(&accuracy) || !accuracy.is_finite() {
+            return Err(HarError::InvalidConfig(format!(
+                "accuracy {accuracy} outside [0, 1]"
+            )));
+        }
+        Ok(DesignPoint {
+            id,
+            config,
+            accuracy,
+        })
+    }
+
+    /// The five Pareto-optimal design points with the paper's Table 2
+    /// accuracies (94%, 93%, 92%, 90%, 76%).
+    #[must_use]
+    pub fn paper_five() -> Vec<DesignPoint> {
+        const PAPER_ACCURACY: [f64; 5] = [0.94, 0.93, 0.92, 0.90, 0.76];
+        DpConfig::paper_pareto_5()
+            .into_iter()
+            .zip(PAPER_ACCURACY)
+            .enumerate()
+            .map(|(i, (config, accuracy))| {
+                DesignPoint::new(i as u8 + 1, config, accuracy).expect("paper DPs are valid")
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DP{}: {} — {:.1}% accurate",
+            self.id,
+            self.config,
+            self.accuracy * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_five_matches_table2() {
+        let dps = DesignPoint::paper_five();
+        assert_eq!(dps.len(), 5);
+        let accs: Vec<f64> = dps.iter().map(|d| d.accuracy).collect();
+        assert_eq!(accs, vec![0.94, 0.93, 0.92, 0.90, 0.76]);
+        for (i, dp) in dps.iter().enumerate() {
+            assert_eq!(dp.id as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_accuracy() {
+        let config = DpConfig::paper_pareto_5()[0].clone();
+        assert!(DesignPoint::new(1, config.clone(), 1.5).is_err());
+        assert!(DesignPoint::new(1, config.clone(), -0.1).is_err());
+        assert!(DesignPoint::new(1, config, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn display_mentions_id_and_accuracy() {
+        let dp = &DesignPoint::paper_five()[0];
+        let s = dp.to_string();
+        assert!(s.contains("DP1"));
+        assert!(s.contains("94.0%"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the HAR pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use reap_dsp::DspError;
+
+/// Errors produced by the HAR pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HarError {
+    /// A design-point configuration is internally inconsistent (e.g. no
+    /// feature source at all, or accel features requested with no axes).
+    InvalidConfig(String),
+    /// A DSP kernel failed while extracting features.
+    Dsp(DspError),
+    /// Training was requested with an empty training set.
+    EmptyTrainingSet,
+    /// A feature vector had an unexpected dimension.
+    FeatureDimension {
+        /// Dimension the model expects.
+        expected: usize,
+        /// Dimension that was produced.
+        got: usize,
+    },
+}
+
+impl fmt::Display for HarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarError::InvalidConfig(msg) => write!(f, "invalid design point config: {msg}"),
+            HarError::Dsp(e) => write!(f, "feature extraction failed: {e}"),
+            HarError::EmptyTrainingSet => write!(f, "training set is empty"),
+            HarError::FeatureDimension { expected, got } => {
+                write!(f, "feature vector has dimension {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for HarError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HarError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<DspError> for HarError {
+    fn from(e: DspError) -> Self {
+        HarError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = HarError::from(DspError::EmptyInput);
+        assert!(e.to_string().contains("feature extraction"));
+        assert!(Error::source(&e).is_some());
+        assert!(HarError::EmptyTrainingSet.to_string().contains("empty"));
+        assert!(HarError::FeatureDimension { expected: 3, got: 2 }
+            .to_string()
+            .contains('3'));
+    }
+}

@@ -1,0 +1,175 @@
+//! Feature extraction: from a sensor window to a design point's feature
+//! vector.
+
+use reap_data::ActivityWindow;
+use reap_dsp::{decimate, dwt, fft, stats};
+
+use crate::config::{AccelFeatures, DpConfig, StretchFeatures};
+use crate::HarError;
+
+/// Number of FFT points used for the stretch feature (as in the paper).
+const STRETCH_FFT_POINTS: usize = 16;
+
+/// Haar-DWT decomposition depth for the accel DWT feature.
+const DWT_LEVELS: usize = 3;
+
+/// Extracts the feature vector of `config` from `window`.
+///
+/// The ordering is deterministic: accelerometer features for each active
+/// axis (in x, y, z order), then stretch features. The length always equals
+/// [`DpConfig::feature_dim`].
+///
+/// # Errors
+///
+/// * [`HarError::InvalidConfig`] if the configuration fails validation.
+/// * [`HarError::Dsp`] if a kernel rejects the window (e.g. empty input).
+pub fn extract_features(config: &DpConfig, window: &ActivityWindow) -> Result<Vec<f64>, HarError> {
+    config.validate()?;
+    let mut features = Vec::with_capacity(config.feature_dim());
+
+    match config.accel_features {
+        AccelFeatures::Statistical => {
+            for &axis in config.axes.indices() {
+                let prefix = window.accel_prefix(axis, config.sensing.fraction());
+                let summary = stats::Summary::of(prefix)?;
+                features.extend_from_slice(&summary.to_features());
+            }
+        }
+        AccelFeatures::Dwt => {
+            for &axis in config.axes.indices() {
+                let prefix = window.accel_prefix(axis, config.sensing.fraction());
+                // The DWT needs a power-of-two length; truncate to the
+                // largest one that fits (an MCU would do the same).
+                let pow2 = prev_power_of_two(prefix.len());
+                let energies = dwt::subband_energies(&prefix[..pow2], dwt::Wavelet::Haar, DWT_LEVELS)?;
+                features.extend_from_slice(&energies);
+            }
+        }
+        AccelFeatures::Off => {}
+    }
+
+    match config.stretch_features {
+        StretchFeatures::Fft16 => {
+            let decimated = decimate::decimate_to(&window.stretch, STRETCH_FFT_POINTS)?;
+            let mags = fft::fft_magnitudes(&decimated)?;
+            features.extend_from_slice(&mags);
+        }
+        StretchFeatures::Statistical => {
+            let summary = stats::Summary::of(&window.stretch)?;
+            features.extend_from_slice(&summary.to_features());
+        }
+        StretchFeatures::Off => {}
+    }
+
+    debug_assert_eq!(features.len(), config.feature_dim());
+    Ok(features)
+}
+
+/// Largest power of two `<= n` (`n >= 1`).
+fn prev_power_of_two(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    let mut p = 1;
+    while p * 2 <= n {
+        p *= 2;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use reap_data::{Activity, UserProfile};
+
+    fn window(activity: Activity, seed: u64) -> ActivityWindow {
+        let profile = UserProfile::generate(0, 42);
+        let mut rng = StdRng::seed_from_u64(seed);
+        ActivityWindow::synthesize(&profile, activity, &mut rng)
+    }
+
+    #[test]
+    fn prev_power_of_two_values() {
+        assert_eq!(prev_power_of_two(1), 1);
+        assert_eq!(prev_power_of_two(2), 2);
+        assert_eq!(prev_power_of_two(3), 2);
+        assert_eq!(prev_power_of_two(160), 128);
+        assert_eq!(prev_power_of_two(80), 64);
+        assert_eq!(prev_power_of_two(60), 32);
+    }
+
+    #[test]
+    fn every_standard_config_produces_declared_dimension() {
+        let w = window(Activity::Walk, 1);
+        for config in DpConfig::standard_24() {
+            let f = extract_features(&config, &w).unwrap();
+            assert_eq!(
+                f.len(),
+                config.feature_dim(),
+                "dimension mismatch for {config}"
+            );
+            assert!(f.iter().all(|v| v.is_finite()), "non-finite feature in {config}");
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let w = window(Activity::Sit, 2);
+        let bad = DpConfig {
+            axes: crate::AccelAxes::Off,
+            sensing: crate::SensingPeriod::Full,
+            accel_features: AccelFeatures::Statistical,
+            stretch_features: StretchFeatures::Fft16,
+            nn: crate::NnStructure::Hidden8,
+        };
+        assert!(matches!(
+            extract_features(&bad, &w),
+            Err(HarError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn walk_and_sit_features_differ_strongly() {
+        let dp1 = &DpConfig::paper_pareto_5()[0];
+        let walk = extract_features(dp1, &window(Activity::Walk, 3)).unwrap();
+        let sit = extract_features(dp1, &window(Activity::Sit, 4)).unwrap();
+        // z-axis std-dev feature (axis 2 stats start at 12, std at +1).
+        let walk_std = walk[13];
+        let sit_std = sit[13];
+        assert!(walk_std > 3.0 * sit_std, "walk {walk_std} vs sit {sit_std}");
+    }
+
+    #[test]
+    fn stretch_fft_dc_separates_sit_from_stand() {
+        let dp5 = &DpConfig::paper_pareto_5()[4];
+        let sit = extract_features(dp5, &window(Activity::Sit, 5)).unwrap();
+        let stand = extract_features(dp5, &window(Activity::Stand, 6)).unwrap();
+        // Feature 0 is the FFT DC magnitude = 16 * mean level.
+        assert!(sit[0] > stand[0] + 2.0);
+    }
+
+    #[test]
+    fn sensing_period_changes_statistical_features() {
+        let full = DpConfig::paper_pareto_5()[0].clone();
+        let mut short = full.clone();
+        short.sensing = crate::SensingPeriod::P40;
+        let w = window(Activity::Walk, 7);
+        let f_full = extract_features(&full, &w).unwrap();
+        let f_short = extract_features(&short, &w).unwrap();
+        assert_eq!(f_full.len(), f_short.len());
+        assert_ne!(f_full, f_short);
+    }
+
+    #[test]
+    fn dwt_features_have_expected_dimension() {
+        let config = DpConfig {
+            axes: crate::AccelAxes::Xy,
+            sensing: crate::SensingPeriod::Full,
+            accel_features: AccelFeatures::Dwt,
+            stretch_features: StretchFeatures::Off,
+            nn: crate::NnStructure::Hidden8,
+        };
+        let f = extract_features(&config, &window(Activity::Jump, 8)).unwrap();
+        assert_eq!(f.len(), 8); // 2 axes * (3 details + 1 approx)
+    }
+}

@@ -1,0 +1,223 @@
+//! Leave-one-user-out (LOUO) cross-validation.
+//!
+//! The paper evaluates with a pooled 60/20/20 split, which lets a
+//! classifier exploit user-specific signal quirks present in both train
+//! and test partitions. The stricter HAR protocol holds out *all* windows
+//! of one user, trains on the rest, and rotates — measuring how well a
+//! design point generalizes to a wearer it has never seen. Provided as an
+//! extension so the reproduction can quantify the pooled-vs-LOUO gap.
+
+use reap_data::{ActivityWindow, Dataset};
+
+use crate::classifier::TrainedClassifier;
+use crate::config::NUM_CLASSES;
+use crate::features::extract_features;
+use crate::nn::{Mlp, TrainConfig};
+use crate::normalize::Standardizer;
+use crate::{ConfusionMatrix, DpConfig, HarError};
+
+/// Result of one LOUO fold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LouoFold {
+    /// The held-out user.
+    pub user_id: u8,
+    /// Accuracy on that user's windows.
+    pub accuracy: f64,
+    /// Windows tested.
+    pub windows: usize,
+}
+
+/// Aggregate LOUO result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LouoResult {
+    /// Per-fold results, by ascending user id.
+    pub folds: Vec<LouoFold>,
+    /// Confusion matrix pooled over all folds.
+    pub confusion: ConfusionMatrix,
+}
+
+impl LouoResult {
+    /// Window-weighted mean accuracy over all folds.
+    #[must_use]
+    pub fn mean_accuracy(&self) -> f64 {
+        self.confusion.accuracy()
+    }
+
+    /// The fold with the worst accuracy (the hardest unseen wearer).
+    #[must_use]
+    pub fn worst_fold(&self) -> Option<&LouoFold> {
+        self.folds
+            .iter()
+            .min_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("finite"))
+    }
+}
+
+/// Runs leave-one-user-out cross-validation of `config` over `dataset`.
+///
+/// Trains one classifier per user (on everyone else's windows) and tests
+/// on the held-out user. All folds share `train_config` (the fold's user
+/// id is mixed into the seed so folds are independent but reproducible).
+///
+/// # Errors
+///
+/// * [`HarError::InvalidConfig`] for invalid design points.
+/// * [`HarError::EmptyTrainingSet`] if the dataset has fewer than two
+///   users.
+/// * Propagates feature-extraction and training errors.
+pub fn leave_one_user_out(
+    dataset: &Dataset,
+    config: &DpConfig,
+    train_config: &TrainConfig,
+) -> Result<LouoResult, HarError> {
+    config.validate()?;
+    let mut user_ids: Vec<u8> = dataset.windows().iter().map(|w| w.user_id).collect();
+    user_ids.sort_unstable();
+    user_ids.dedup();
+    if user_ids.len() < 2 {
+        return Err(HarError::EmptyTrainingSet);
+    }
+
+    let featurize = |windows: &[&ActivityWindow]| -> Result<(Vec<Vec<f64>>, Vec<usize>), HarError> {
+        let mut xs = Vec::with_capacity(windows.len());
+        let mut ys = Vec::with_capacity(windows.len());
+        for w in windows {
+            xs.push(extract_features(config, w)?);
+            ys.push(w.label.index());
+        }
+        Ok((xs, ys))
+    };
+
+    let mut folds = Vec::with_capacity(user_ids.len());
+    let mut confusion = ConfusionMatrix::new();
+    for &held_out in &user_ids {
+        let train: Vec<&ActivityWindow> = dataset
+            .windows()
+            .iter()
+            .filter(|w| w.user_id != held_out)
+            .collect();
+        let test: Vec<&ActivityWindow> = dataset
+            .windows()
+            .iter()
+            .filter(|w| w.user_id == held_out)
+            .collect();
+        let (train_raw, train_y) = featurize(&train)?;
+        let standardizer = Standardizer::fit(&train_raw)?;
+        let train_x = standardizer.apply_all(&train_raw)?;
+
+        let sizes = config.nn.layer_sizes(config.feature_dim(), NUM_CLASSES);
+        let fold_config = TrainConfig {
+            seed: train_config
+                .seed
+                .wrapping_add(u64::from(held_out).wrapping_mul(0x9E37)),
+            ..train_config.clone()
+        };
+        let mut network = Mlp::new(&sizes, fold_config.seed)?;
+        network.train(&train_x, &train_y, &fold_config)?;
+
+        let (test_raw, test_y) = featurize(&test)?;
+        let test_x = standardizer.apply_all(&test_raw)?;
+        let mut correct = 0usize;
+        for (x, &y) in test_x.iter().zip(&test_y) {
+            let predicted = network.predict(x);
+            confusion.record(
+                reap_data::Activity::from_index(y).expect("valid"),
+                reap_data::Activity::from_index(predicted).expect("valid"),
+            );
+            if predicted == y {
+                correct += 1;
+            }
+        }
+        folds.push(LouoFold {
+            user_id: held_out,
+            accuracy: correct as f64 / test.len().max(1) as f64,
+            windows: test.len(),
+        });
+    }
+    Ok(LouoResult { folds, confusion })
+}
+
+/// Convenience: the pooled-split accuracy of the same configuration, for
+/// direct comparison with [`leave_one_user_out`].
+///
+/// # Errors
+///
+/// Same conditions as [`crate::train_classifier`].
+pub fn pooled_accuracy(
+    dataset: &Dataset,
+    config: &DpConfig,
+    train_config: &TrainConfig,
+) -> Result<f64, HarError> {
+    crate::train_classifier(dataset, config, train_config)
+        .map(|c: TrainedClassifier| c.test_accuracy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dataset() -> Dataset {
+        Dataset::generate(4, 360, 17)
+    }
+
+    #[test]
+    fn louo_produces_one_fold_per_user() {
+        let result =
+            leave_one_user_out(&small_dataset(), &DpConfig::paper_pareto_5()[4], &TrainConfig::fast(17))
+                .unwrap();
+        assert_eq!(result.folds.len(), 4);
+        let total: usize = result.folds.iter().map(|f| f.windows).sum();
+        assert_eq!(total, 360);
+        assert_eq!(result.confusion.total(), 360);
+        for fold in &result.folds {
+            assert!((0.0..=1.0).contains(&fold.accuracy));
+        }
+    }
+
+    #[test]
+    fn louo_beats_chance_and_trails_pooled() {
+        let dataset = small_dataset();
+        let config = &DpConfig::paper_pareto_5()[0];
+        let tc = TrainConfig::fast(17);
+        let louo = leave_one_user_out(&dataset, config, &tc).unwrap();
+        let pooled = pooled_accuracy(&dataset, config, &tc).unwrap();
+        assert!(
+            louo.mean_accuracy() > 1.5 / 7.0,
+            "LOUO accuracy {} barely beats chance",
+            louo.mean_accuracy()
+        );
+        // Generalizing to an unseen wearer is (weakly) harder than the
+        // pooled protocol; allow a small tolerance for fold noise.
+        assert!(
+            louo.mean_accuracy() <= pooled + 0.10,
+            "LOUO {} implausibly beats pooled {pooled}",
+            louo.mean_accuracy()
+        );
+    }
+
+    #[test]
+    fn worst_fold_is_the_minimum() {
+        let result =
+            leave_one_user_out(&small_dataset(), &DpConfig::paper_pareto_5()[4], &TrainConfig::fast(3))
+                .unwrap();
+        let worst = result.worst_fold().unwrap();
+        for f in &result.folds {
+            assert!(worst.accuracy <= f.accuracy);
+        }
+    }
+
+    #[test]
+    fn single_user_dataset_is_rejected() {
+        let d = Dataset::generate(1, 60, 1);
+        let err = leave_one_user_out(&d, &DpConfig::paper_pareto_5()[4], &TrainConfig::fast(1));
+        assert!(matches!(err, Err(HarError::EmptyTrainingSet)));
+    }
+
+    #[test]
+    fn louo_is_deterministic() {
+        let d = small_dataset();
+        let config = &DpConfig::paper_pareto_5()[4];
+        let a = leave_one_user_out(&d, config, &TrainConfig::fast(9)).unwrap();
+        let b = leave_one_user_out(&d, config, &TrainConfig::fast(9)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,147 @@
+//! Feature standardization (z-scoring).
+//!
+//! The feature families have wildly different scales (FFT magnitudes near
+//! 10, accelerometer means near 1 g, mean-crossing counts in the tens);
+//! training converges far better when every feature is standardized with
+//! the *training set's* statistics.
+
+use crate::HarError;
+
+/// Per-feature affine normalizer: `x -> (x - mean) / std`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits a standardizer to a set of feature vectors.
+    ///
+    /// Features with (near-)zero variance get a unit scale so they pass
+    /// through centred but unscaled.
+    ///
+    /// # Errors
+    ///
+    /// * [`HarError::EmptyTrainingSet`] when `samples` is empty.
+    /// * [`HarError::FeatureDimension`] when samples disagree in dimension.
+    pub fn fit(samples: &[Vec<f64>]) -> Result<Standardizer, HarError> {
+        let Some(first) = samples.first() else {
+            return Err(HarError::EmptyTrainingSet);
+        };
+        let dim = first.len();
+        for s in samples {
+            if s.len() != dim {
+                return Err(HarError::FeatureDimension {
+                    expected: dim,
+                    got: s.len(),
+                });
+            }
+        }
+        let n = samples.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for s in samples {
+            for (m, v) in mean.iter_mut().zip(s) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; dim];
+        for s in samples {
+            for ((v, m), x) in var.iter_mut().zip(&mean).zip(s) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Ok(Standardizer { mean, std })
+    }
+
+    /// Feature dimension this standardizer was fitted on.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardizes one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// [`HarError::FeatureDimension`] when the dimension differs from the
+    /// fitted one.
+    pub fn apply(&self, features: &[f64]) -> Result<Vec<f64>, HarError> {
+        if features.len() != self.dim() {
+            return Err(HarError::FeatureDimension {
+                expected: self.dim(),
+                got: features.len(),
+            });
+        }
+        Ok(features
+            .iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(x, (m, s))| (x - m) / s)
+            .collect())
+    }
+
+    /// Standardizes a batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Standardizer::apply`].
+    pub fn apply_all(&self, samples: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, HarError> {
+        samples.iter().map(|s| self.apply(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_and_apply_standardize() {
+        let samples = vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]];
+        let st = Standardizer::fit(&samples).unwrap();
+        let normed = st.apply_all(&samples).unwrap();
+        // Column means should be ~0, stds ~1.
+        for col in 0..2 {
+            let mean: f64 = normed.iter().map(|s| s[col]).sum::<f64>() / 3.0;
+            let var: f64 = normed.iter().map(|s| s[col] * s[col]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_features_pass_through_centred() {
+        let samples = vec![vec![7.0], vec![7.0], vec![7.0]];
+        let st = Standardizer::fit(&samples).unwrap();
+        assert_eq!(st.apply(&[7.0]).unwrap(), vec![0.0]);
+        assert_eq!(st.apply(&[8.0]).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn errors_on_empty_or_mismatched() {
+        assert_eq!(
+            Standardizer::fit(&[]).unwrap_err(),
+            HarError::EmptyTrainingSet
+        );
+        let st = Standardizer::fit(&[vec![1.0, 2.0]]).unwrap();
+        assert!(matches!(
+            st.apply(&[1.0]),
+            Err(HarError::FeatureDimension { expected: 2, got: 1 })
+        ));
+        assert!(Standardizer::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert_eq!(st.dim(), 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Pareto-front extraction in the (energy, accuracy) plane.
+
+/// Indices of the Pareto-optimal points among `(cost, value)` pairs, where
+/// lower cost and higher value are better (energy and accuracy in the
+/// paper's Fig. 3).
+///
+/// A point is dominated when another point has `cost <=` **and**
+/// `value >=` with at least one strict inequality. Duplicate points are all
+/// kept (none strictly dominates the other). The returned indices are
+/// sorted by ascending cost.
+///
+/// # Examples
+///
+/// ```
+/// use reap_har::pareto_front;
+///
+/// // (energy mJ, accuracy): the middle point is dominated.
+/// let pts = [(1.93, 0.76), (3.00, 0.70), (4.48, 0.94)];
+/// assert_eq!(pareto_front(&pts), vec![0, 2]);
+/// ```
+#[must_use]
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut front: Vec<usize> = (0..points.len())
+        .filter(|&i| {
+            let (ci, vi) = points[i];
+            !points.iter().enumerate().any(|(j, &(cj, vj))| {
+                j != i && cj <= ci && vj >= vi && (cj < ci || vj > vi)
+            })
+        })
+        .collect();
+    front.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .partial_cmp(&points[b].0)
+            .expect("finite costs")
+            .then(a.cmp(&b))
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(pareto_front(&[]).is_empty());
+        assert_eq!(pareto_front(&[(1.0, 1.0)]), vec![0]);
+    }
+
+    #[test]
+    fn table2_points_are_all_on_the_front() {
+        // The five Table 2 DPs: each cheaper one is less accurate.
+        let pts = [
+            (4.48, 0.94),
+            (3.72, 0.93),
+            (2.94, 0.92),
+            (2.66, 0.90),
+            (1.93, 0.76),
+        ];
+        assert_eq!(pareto_front(&pts), vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn dominated_point_is_dropped() {
+        // The paper's "red rectangle" point: dominated by DP2, DP3, DP4.
+        let pts = [
+            (3.72, 0.93),
+            (2.94, 0.92),
+            (2.66, 0.90),
+            (3.40, 0.85), // dominated
+        ];
+        let front = pareto_front(&pts);
+        assert!(!front.contains(&3));
+        assert_eq!(front.len(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_both_kept() {
+        let pts = [(1.0, 0.5), (1.0, 0.5)];
+        assert_eq!(pareto_front(&pts).len(), 2);
+    }
+
+    #[test]
+    fn equal_cost_lower_value_is_dominated() {
+        let pts = [(1.0, 0.5), (1.0, 0.6)];
+        assert_eq!(pareto_front(&pts), vec![1]);
+    }
+
+    #[test]
+    fn front_is_sorted_by_cost() {
+        let pts = [(5.0, 0.9), (1.0, 0.3), (3.0, 0.7)];
+        assert_eq!(pareto_front(&pts), vec![1, 2, 0]);
+    }
+}

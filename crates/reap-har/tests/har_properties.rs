@@ -1,0 +1,144 @@
+//! Property tests for the HAR pipeline: feature extraction over random
+//! valid configurations, Pareto-front laws, and quantization fidelity.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reap_data::{Activity, ActivityWindow, UserProfile};
+use reap_har::{
+    extract_features, pareto_front, AccelAxes, AccelFeatures, DpConfig, Mlp, NnStructure,
+    QuantizedMlp, SensingPeriod, StretchFeatures,
+};
+
+/// Strategy: any *valid* design-point configuration.
+fn arb_config() -> impl Strategy<Value = DpConfig> {
+    let axes = prop_oneof![
+        Just(AccelAxes::Xyz),
+        Just(AccelAxes::Xy),
+        Just(AccelAxes::X),
+        Just(AccelAxes::Y),
+        Just(AccelAxes::Off),
+    ];
+    let sensing = prop_oneof![
+        Just(SensingPeriod::Full),
+        Just(SensingPeriod::P75),
+        Just(SensingPeriod::P50),
+        Just(SensingPeriod::P40),
+    ];
+    let accel_features = prop_oneof![
+        Just(AccelFeatures::Statistical),
+        Just(AccelFeatures::Dwt),
+    ];
+    let stretch = prop_oneof![
+        Just(StretchFeatures::Fft16),
+        Just(StretchFeatures::Statistical),
+        Just(StretchFeatures::Off),
+    ];
+    let nn = prop_oneof![
+        Just(NnStructure::Hidden12),
+        Just(NnStructure::Hidden8),
+        Just(NnStructure::Direct),
+    ];
+    (axes, sensing, accel_features, stretch, nn).prop_filter_map(
+        "must be a valid combination",
+        |(axes, sensing, accel_features, stretch_features, nn)| {
+            let accel_features = if axes == AccelAxes::Off {
+                AccelFeatures::Off
+            } else {
+                accel_features
+            };
+            let config = DpConfig {
+                axes,
+                sensing,
+                accel_features,
+                stretch_features,
+                nn,
+            };
+            config.validate().ok().map(|()| config)
+        },
+    )
+}
+
+fn arb_activity() -> impl Strategy<Value = Activity> {
+    proptest::sample::select(Activity::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn extraction_always_matches_declared_dimension(
+        config in arb_config(),
+        activity in arb_activity(),
+        seed in 0u64..1000,
+    ) {
+        let profile = UserProfile::generate((seed % 14) as u8, 42);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let window = ActivityWindow::synthesize(&profile, activity, &mut rng);
+        let features = extract_features(&config, &window).expect("valid config");
+        prop_assert_eq!(features.len(), config.feature_dim());
+        prop_assert!(features.iter().all(|f| f.is_finite()));
+    }
+
+    #[test]
+    fn extraction_is_deterministic(config in arb_config(), seed in 0u64..1000) {
+        let profile = UserProfile::generate(0, 7);
+        let mut rng1 = StdRng::seed_from_u64(seed);
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let w1 = ActivityWindow::synthesize(&profile, Activity::Walk, &mut rng1);
+        let w2 = ActivityWindow::synthesize(&profile, Activity::Walk, &mut rng2);
+        prop_assert_eq!(
+            extract_features(&config, &w1).expect("valid"),
+            extract_features(&config, &w2).expect("valid")
+        );
+    }
+
+    #[test]
+    fn pareto_front_laws(points in proptest::collection::vec(
+        (0.5f64..5.0, 0.5f64..1.0), 1..20
+    )) {
+        let front = pareto_front(&points);
+        prop_assert!(!front.is_empty(), "non-empty input must have a front");
+        // No front member is dominated by any point.
+        for &i in &front {
+            let (ci, vi) = points[i];
+            for (j, &(cj, vj)) in points.iter().enumerate() {
+                let dominates = j != i && cj <= ci && vj >= vi && (cj < ci || vj > vi);
+                prop_assert!(!dominates, "front member {i} dominated by {j}");
+            }
+        }
+        // Every non-member is dominated by someone.
+        for (i, &(ci, vi)) in points.iter().enumerate() {
+            if !front.contains(&i) {
+                let dominated = points.iter().enumerate().any(|(j, &(cj, vj))| {
+                    j != i && cj <= ci && vj >= vi && (cj < ci || vj > vi)
+                });
+                prop_assert!(dominated, "non-member {i} is not dominated");
+            }
+        }
+        // Sorted by cost.
+        for w in front.windows(2) {
+            prop_assert!(points[w[0]].0 <= points[w[1]].0);
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_quantization_preserves_predictions(
+        sizes_idx in 0usize..3,
+        net_seed in 0u64..500,
+        inputs in proptest::collection::vec(
+            proptest::collection::vec(-3.0f64..3.0, 5), 1..10
+        ),
+    ) {
+        let sizes: &[usize] = match sizes_idx {
+            0 => &[5, 8, 3],
+            1 => &[5, 12, 7],
+            _ => &[5, 4],
+        };
+        let net = Mlp::new(sizes, net_seed).expect("valid sizes");
+        let q = QuantizedMlp::from_mlp(&net, 16).expect("valid width");
+        for x in &inputs {
+            prop_assert_eq!(q.predict(x), net.predict(x));
+        }
+    }
+}

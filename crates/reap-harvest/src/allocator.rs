@@ -1,0 +1,268 @@
+//! Hourly energy-budget allocation policies.
+//!
+//! REAP assumes "Energy budget Eb ... is determined by energy allocation
+//! techniques using the expected amount of harvested energy and battery
+//! capacity" (Sec. 3.2, citing Kansal et al. and Bhat et al.). This module
+//! provides three such policies with a common interface so the simulator
+//! can ablate them.
+
+use reap_units::Energy;
+
+use crate::Battery;
+
+/// A policy that decides each period's energy budget from the harvesting
+/// history and battery state.
+///
+/// Called once per hour, *before* the period runs, with the energy
+/// harvested during the previous hour and the battery as it stands.
+pub trait BudgetAllocator {
+    /// Budget for the upcoming hour.
+    fn allocate(&mut self, hour_of_day: u32, harvested_last_hour: Energy, battery: &Battery)
+        -> Energy;
+
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Spend-as-you-go: budget = last hour's harvest plus a battery-level
+/// correction toward a half-full target. Reactive and simple; serves as
+/// the weakest baseline.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyAllocator;
+
+impl BudgetAllocator for GreedyAllocator {
+    fn allocate(
+        &mut self,
+        _hour_of_day: u32,
+        harvested_last_hour: Energy,
+        battery: &Battery,
+    ) -> Energy {
+        let target = battery.capacity() * 0.5;
+        let correction = (battery.level() - target) * 0.25;
+        (harvested_last_hour + correction).max(Energy::ZERO)
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+}
+
+/// Kansal-style EWMA allocator: keeps an exponentially weighted moving
+/// average of the harvest *per hour-of-day slot* (capturing the diurnal
+/// profile) and budgets that expectation plus a battery correction.
+#[derive(Debug, Clone)]
+pub struct EwmaAllocator {
+    /// Per-slot harvest estimates (J).
+    estimates: [f64; 24],
+    /// EWMA smoothing factor in `(0, 1]`: weight of the newest sample.
+    alpha: f64,
+    /// Fraction of the battery's divergence from target spent per hour.
+    battery_gain: f64,
+    initialized: bool,
+}
+
+impl EwmaAllocator {
+    /// Creates an allocator with the conventional smoothing factor 0.5
+    /// (as in Kansal et al.) and a gentle battery gain.
+    #[must_use]
+    pub fn new() -> EwmaAllocator {
+        EwmaAllocator {
+            estimates: [0.0; 24],
+            alpha: 0.5,
+            battery_gain: 0.1,
+            initialized: false,
+        }
+    }
+
+    /// Overrides the smoothing factor (clamped to `(0, 1]`).
+    #[must_use]
+    pub fn with_alpha(mut self, alpha: f64) -> EwmaAllocator {
+        self.alpha = alpha.clamp(1e-3, 1.0);
+        self
+    }
+
+    /// Current estimate for a slot (J), for inspection.
+    #[must_use]
+    pub fn estimate(&self, hour_of_day: u32) -> Energy {
+        Energy::from_joules(self.estimates[(hour_of_day % 24) as usize])
+    }
+}
+
+impl Default for EwmaAllocator {
+    fn default() -> Self {
+        EwmaAllocator::new()
+    }
+}
+
+impl BudgetAllocator for EwmaAllocator {
+    fn allocate(
+        &mut self,
+        hour_of_day: u32,
+        harvested_last_hour: Energy,
+        battery: &Battery,
+    ) -> Energy {
+        // Update the estimate of the *previous* slot with its outcome.
+        let prev_slot = ((hour_of_day + 23) % 24) as usize;
+        if self.initialized {
+            self.estimates[prev_slot] = (1.0 - self.alpha) * self.estimates[prev_slot]
+                + self.alpha * harvested_last_hour.joules();
+        } else {
+            // Cold start: seed every slot with the first observation so
+            // the first day is not starved to zero.
+            self.estimates = [harvested_last_hour.joules(); 24];
+            self.initialized = true;
+        }
+        let expected = self.estimates[(hour_of_day % 24) as usize];
+        let target = battery.capacity() * 0.5;
+        let correction = (battery.level() - target).joules() * self.battery_gain;
+        Energy::from_joules((expected + correction).max(0.0))
+    }
+
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+/// Splits the trailing daily harvest evenly across 24 hours (plus the
+/// battery correction). Smooths aggressively: good at night, wasteful of
+/// clear-noon surpluses when the battery is small.
+#[derive(Debug, Clone)]
+pub struct UniformDailyAllocator {
+    window: [f64; 24],
+    cursor: usize,
+    filled: bool,
+    battery_gain: f64,
+}
+
+impl UniformDailyAllocator {
+    /// Creates the allocator.
+    #[must_use]
+    pub fn new() -> UniformDailyAllocator {
+        UniformDailyAllocator {
+            window: [0.0; 24],
+            cursor: 0,
+            filled: false,
+            battery_gain: 0.1,
+        }
+    }
+}
+
+impl Default for UniformDailyAllocator {
+    fn default() -> Self {
+        UniformDailyAllocator::new()
+    }
+}
+
+impl BudgetAllocator for UniformDailyAllocator {
+    fn allocate(
+        &mut self,
+        _hour_of_day: u32,
+        harvested_last_hour: Energy,
+        battery: &Battery,
+    ) -> Energy {
+        self.window[self.cursor] = harvested_last_hour.joules();
+        self.cursor = (self.cursor + 1) % 24;
+        if self.cursor == 0 {
+            self.filled = true;
+        }
+        let divisor = if self.filled { 24.0 } else { self.cursor.max(1) as f64 };
+        let daily: f64 = self.window.iter().sum();
+        let per_hour = daily / divisor;
+        let target = battery.capacity() * 0.5;
+        let correction = (battery.level() - target).joules() * self.battery_gain;
+        Energy::from_joules((per_hour + correction).max(0.0))
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform-daily"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn joules(j: f64) -> Energy {
+        Energy::from_joules(j)
+    }
+
+    fn half_full() -> Battery {
+        Battery::small_wearable() // 60 J capacity, 30 J level
+    }
+
+    #[test]
+    fn greedy_passes_harvest_through_at_target_level() {
+        let mut a = GreedyAllocator;
+        let b = half_full();
+        let budget = a.allocate(10, joules(4.0), &b);
+        assert!((budget.joules() - 4.0).abs() < 1e-9);
+        assert_eq!(a.name(), "greedy");
+    }
+
+    #[test]
+    fn greedy_spends_surplus_battery() {
+        let mut a = GreedyAllocator;
+        let full = Battery::new(joules(60.0), joules(60.0), 0.95, 0.95).unwrap();
+        let low = Battery::new(joules(60.0), joules(5.0), 0.95, 0.95).unwrap();
+        assert!(a.allocate(10, joules(2.0), &full) > a.allocate(10, joules(2.0), &low));
+        // Deep deficit never yields a negative budget.
+        assert!(a.allocate(10, Energy::ZERO, &low).joules() >= 0.0);
+    }
+
+    #[test]
+    fn ewma_learns_the_diurnal_profile() {
+        let mut a = EwmaAllocator::new();
+        let b = half_full();
+        // Three synthetic days: 5 J at noon slots, 0 at night slots.
+        for _ in 0..3 {
+            for hour in 0u32..24 {
+                let prev = (hour + 23) % 24;
+                let harvested = if (10..=14).contains(&prev) { 5.0 } else { 0.0 };
+                let _ = a.allocate(hour, joules(harvested), &b);
+            }
+        }
+        assert!(a.estimate(12).joules() > 3.0, "noon estimate too low");
+        assert!(a.estimate(2).joules() < 1.0, "night estimate too high");
+        assert_eq!(a.name(), "ewma");
+    }
+
+    #[test]
+    fn ewma_budget_tracks_expectations() {
+        let mut a = EwmaAllocator::new();
+        let b = half_full();
+        // Cold start: first call seeds all slots.
+        let first = a.allocate(0, joules(2.0), &b);
+        assert!((first.joules() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_daily_smooths() {
+        let mut a = UniformDailyAllocator::new();
+        let b = half_full();
+        // A day with one big 24 J hour and 23 dark hours.
+        let mut budgets = Vec::new();
+        for hour in 0u32..48 {
+            let harvested = if hour % 24 == 12 { 24.0 } else { 0.0 };
+            budgets.push(a.allocate(hour % 24, joules(harvested), &b).joules());
+        }
+        // After the first full day, the budget settles near 1 J/hour.
+        let settled = budgets[30];
+        assert!((settled - 1.0).abs() < 0.3, "settled = {settled}");
+        assert_eq!(a.name(), "uniform-daily");
+    }
+
+    #[test]
+    fn allocators_are_object_safe() {
+        let mut list: Vec<Box<dyn BudgetAllocator>> = vec![
+            Box::new(GreedyAllocator),
+            Box::new(EwmaAllocator::new()),
+            Box::new(UniformDailyAllocator::new()),
+        ];
+        let b = half_full();
+        for a in &mut list {
+            let budget = a.allocate(0, joules(1.0), &b);
+            assert!(budget.joules() >= 0.0);
+            assert!(!a.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! A small backup battery / supercapacitor model.
+
+use reap_units::Energy;
+
+use crate::HarvestError;
+
+/// A small energy buffer with charge/discharge efficiencies.
+///
+/// The paper's second device class "uses a small battery as a backup to
+/// extend the active time"; the allocator policies lean on this buffer to
+/// smooth day/night harvesting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Battery {
+    capacity: Energy,
+    level: Energy,
+    charge_efficiency: f64,
+    discharge_efficiency: f64,
+}
+
+impl Battery {
+    /// A 60 J buffer starting half full — enough to carry roughly a night
+    /// of low-power operation.
+    #[must_use]
+    pub fn small_wearable() -> Battery {
+        Battery::new(Energy::from_joules(60.0), Energy::from_joules(30.0), 0.95, 0.95)
+            .expect("constants are valid")
+    }
+
+    /// Creates a battery.
+    ///
+    /// # Errors
+    ///
+    /// [`HarvestError::InvalidParameter`] when the capacity is
+    /// non-positive, the initial level is outside `[0, capacity]`, or an
+    /// efficiency is outside `(0, 1]`.
+    pub fn new(
+        capacity: Energy,
+        initial_level: Energy,
+        charge_efficiency: f64,
+        discharge_efficiency: f64,
+    ) -> Result<Battery, HarvestError> {
+        if !capacity.is_finite() || capacity.joules() <= 0.0 {
+            return Err(HarvestError::InvalidParameter(format!(
+                "capacity {capacity} must be positive"
+            )));
+        }
+        if !initial_level.is_finite()
+            || initial_level.is_negative()
+            || initial_level > capacity
+        {
+            return Err(HarvestError::InvalidParameter(format!(
+                "initial level {initial_level} outside [0, {capacity}]"
+            )));
+        }
+        for (name, v) in [
+            ("charge efficiency", charge_efficiency),
+            ("discharge efficiency", discharge_efficiency),
+        ] {
+            if !v.is_finite() || v <= 0.0 || v > 1.0 {
+                return Err(HarvestError::InvalidParameter(format!(
+                    "{name} {v} outside (0, 1]"
+                )));
+            }
+        }
+        Ok(Battery {
+            capacity,
+            level: initial_level,
+            charge_efficiency,
+            discharge_efficiency,
+        })
+    }
+
+    /// Current stored energy.
+    #[must_use]
+    pub fn level(&self) -> Energy {
+        self.level
+    }
+
+    /// Maximum stored energy.
+    #[must_use]
+    pub fn capacity(&self) -> Energy {
+        self.capacity
+    }
+
+    /// State of charge in `[0, 1]`.
+    #[must_use]
+    pub fn state_of_charge(&self) -> f64 {
+        self.level / self.capacity
+    }
+
+    /// Charges with `energy` (pre-efficiency). Returns the energy that
+    /// *spilled* (could not be stored because the battery was full).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy` is negative.
+    pub fn charge(&mut self, energy: Energy) -> Energy {
+        assert!(!energy.is_negative(), "cannot charge negative energy");
+        let storable = energy * self.charge_efficiency;
+        let headroom = self.capacity - self.level;
+        let stored = storable.min(headroom);
+        self.level += stored;
+        // Spill reported at the input side (before efficiency) for the
+        // part that did not fit.
+        (storable - stored) / self.charge_efficiency
+    }
+
+    /// Draws up to `energy` from the battery. Returns the energy actually
+    /// *delivered* to the load (post-efficiency), which is less than
+    /// requested when the battery runs dry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy` is negative.
+    pub fn discharge(&mut self, energy: Energy) -> Energy {
+        assert!(!energy.is_negative(), "cannot discharge negative energy");
+        let needed_internally = energy / self.discharge_efficiency;
+        let drawn = needed_internally.min(self.level);
+        self.level -= drawn;
+        drawn * self.discharge_efficiency
+    }
+
+    /// How much energy a load could draw right now (post-efficiency).
+    #[must_use]
+    pub fn deliverable(&self) -> Energy {
+        self.level * self.discharge_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn joules(j: f64) -> Energy {
+        Energy::from_joules(j)
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Battery::new(joules(0.0), joules(0.0), 0.9, 0.9).is_err());
+        assert!(Battery::new(joules(10.0), joules(11.0), 0.9, 0.9).is_err());
+        assert!(Battery::new(joules(10.0), joules(5.0), 0.0, 0.9).is_err());
+        assert!(Battery::new(joules(10.0), joules(5.0), 0.9, 1.1).is_err());
+    }
+
+    #[test]
+    fn charge_respects_capacity_and_reports_spill() {
+        let mut b = Battery::new(joules(10.0), joules(9.0), 1.0, 1.0).unwrap();
+        let spill = b.charge(joules(3.0));
+        assert!((b.level().joules() - 10.0).abs() < 1e-12);
+        assert!((spill.joules() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_efficiency_loses_energy() {
+        let mut b = Battery::new(joules(100.0), joules(0.0), 0.8, 1.0).unwrap();
+        let spill = b.charge(joules(10.0));
+        assert_eq!(spill, Energy::ZERO);
+        assert!((b.level().joules() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discharge_delivers_up_to_level() {
+        let mut b = Battery::new(joules(10.0), joules(4.0), 1.0, 1.0).unwrap();
+        let got = b.discharge(joules(6.0));
+        assert!((got.joules() - 4.0).abs() < 1e-12);
+        assert_eq!(b.level(), Energy::ZERO);
+    }
+
+    #[test]
+    fn discharge_efficiency_costs_extra() {
+        let mut b = Battery::new(joules(10.0), joules(10.0), 1.0, 0.5).unwrap();
+        let got = b.discharge(joules(2.0));
+        assert!((got.joules() - 2.0).abs() < 1e-12);
+        // Delivering 2 J at 50% efficiency drained 4 J.
+        assert!((b.level().joules() - 6.0).abs() < 1e-12);
+        assert!((b.deliverable().joules() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_of_charge() {
+        let b = Battery::new(joules(60.0), joules(30.0), 0.95, 0.95).unwrap();
+        assert!((b.state_of_charge() - 0.5).abs() < 1e-12);
+        assert_eq!(Battery::small_wearable(), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_charge_panics() {
+        let mut b = Battery::small_wearable();
+        let _ = b.charge(joules(-1.0));
+    }
+}

@@ -1,0 +1,51 @@
+//! Energy-harvesting substrate: solar irradiance, panel, battery, and
+//! hourly budget allocation.
+//!
+//! The paper evaluates REAP with solar-radiation measurements from the
+//! NREL Solar Radiation Research Laboratory (Golden, Colorado) converted
+//! into hourly energy budgets for a flexible solar cell on the wearable
+//! prototype. Those traces are not bundled here, so this crate provides a
+//! **synthetic substitute** with the same structure:
+//!
+//! * [`SolarModel`] — clear-sky global horizontal irradiance from solar
+//!   geometry (declination, hour angle, air mass) at Golden's latitude;
+//! * [`WeatherModel`] — a seeded per-day Markov chain over sky conditions
+//!   with hourly attenuation noise, producing realistic clear/cloudy-day
+//!   dispersion;
+//! * [`SolarPanel`] — an SP3-37-class flexible panel with a wearable
+//!   derating factor calibrated so hourly harvests span the paper's
+//!   0.18–10 J evaluation regime;
+//! * [`HarvestTrace`] — e.g. [`HarvestTrace::september_like`] for the
+//!   month Fig. 7 uses;
+//! * [`Battery`] and [`BudgetAllocator`] implementations that turn
+//!   harvests into per-period energy budgets (Kansal-style EWMA, greedy,
+//!   and uniform-daily policies).
+//!
+//! # Examples
+//!
+//! ```
+//! use reap_harvest::HarvestTrace;
+//!
+//! let trace = HarvestTrace::september_like(7);
+//! assert_eq!(trace.days(), 30);
+//! // Nights harvest nothing; clear noons harvest several joules.
+//! assert_eq!(trace.energy(0, 0).joules(), 0.0);
+//! assert!(trace.peak().joules() > 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod allocator;
+mod battery;
+mod error;
+mod panel;
+mod solar;
+mod trace;
+
+pub use allocator::{BudgetAllocator, EwmaAllocator, GreedyAllocator, UniformDailyAllocator};
+pub use battery::Battery;
+pub use error::HarvestError;
+pub use panel::SolarPanel;
+pub use solar::{SkyCondition, SolarModel, WeatherModel};
+pub use trace::HarvestTrace;

@@ -1,0 +1,139 @@
+//! Property tests for the harvesting substrate: battery conservation
+//! under arbitrary operation sequences, trace invariants across seeds and
+//! seasons, and allocator sanity.
+
+use proptest::prelude::*;
+use reap_harvest::{
+    Battery, BudgetAllocator, EwmaAllocator, GreedyAllocator, HarvestTrace, SolarModel,
+    SolarPanel, UniformDailyAllocator, WeatherModel,
+};
+use reap_units::Energy;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Charge(f64),
+    Discharge(f64),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0.0f64..20.0).prop_map(Op::Charge),
+            (0.0f64..20.0).prop_map(Op::Discharge),
+        ],
+        1..50,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn battery_never_leaves_bounds_and_conserves_energy(ops in arb_ops()) {
+        let mut battery = Battery::new(
+            Energy::from_joules(60.0),
+            Energy::from_joules(30.0),
+            0.9,
+            0.9,
+        ).expect("valid");
+        for op in &ops {
+            let before = battery.level().joules();
+            match op {
+                Op::Charge(j) => {
+                    let spill = battery.charge(Energy::from_joules(*j));
+                    let after = battery.level().joules();
+                    // Stored energy never exceeds input (efficiency <= 1).
+                    prop_assert!(after - before <= j * 0.9 + 1e-9);
+                    prop_assert!(spill.joules() >= -1e-12);
+                    prop_assert!(spill.joules() <= *j + 1e-9);
+                }
+                Op::Discharge(j) => {
+                    let got = battery.discharge(Energy::from_joules(*j));
+                    let after = battery.level().joules();
+                    prop_assert!(got.joules() <= j + 1e-9);
+                    // Drawn internal energy >= delivered (efficiency <= 1).
+                    prop_assert!(before - after >= got.joules() - 1e-9);
+                }
+            }
+            prop_assert!(battery.level().joules() >= -1e-9);
+            prop_assert!(battery.level() <= battery.capacity());
+            prop_assert!((0.0..=1.0).contains(&battery.state_of_charge()));
+        }
+    }
+
+    #[test]
+    fn traces_are_nonnegative_and_dark_at_night(seed in 0u64..500, start_day in 1u32..330) {
+        let trace = HarvestTrace::generate(
+            &SolarModel::golden_colorado(),
+            &WeatherModel::new(seed),
+            &SolarPanel::sp3_37_wearable(),
+            start_day,
+            5,
+        ).expect("valid");
+        for e in trace.iter() {
+            prop_assert!(!e.is_negative());
+            prop_assert!(e.joules() < 20.0, "implausible hourly harvest {e}");
+        }
+        for day in 0..trace.days() {
+            // Solar midnight and 3am are always dark at mid-latitudes.
+            prop_assert_eq!(trace.energy(day, 0), Energy::ZERO);
+            prop_assert_eq!(trace.energy(day, 3), Energy::ZERO);
+        }
+    }
+
+    #[test]
+    fn summer_months_out_harvest_winter_months(seed in 0u64..100) {
+        let gen = |start: u32| {
+            HarvestTrace::generate(
+                &SolarModel::golden_colorado(),
+                &WeatherModel::new(seed),
+                &SolarPanel::sp3_37_wearable(),
+                start,
+                10,
+            ).expect("valid").total().joules()
+        };
+        let june = gen(160);
+        let december = gen(340);
+        // Same weather stream; the solar geometry alone must separate the
+        // seasons.
+        prop_assert!(june > december, "june {june} <= december {december}");
+    }
+
+    #[test]
+    fn allocators_never_go_negative_and_stay_bounded(
+        harvests in proptest::collection::vec(0.0f64..12.0, 48),
+    ) {
+        let battery = Battery::small_wearable();
+        let mut allocators: Vec<Box<dyn BudgetAllocator>> = vec![
+            Box::new(GreedyAllocator),
+            Box::new(EwmaAllocator::new()),
+            Box::new(UniformDailyAllocator::new()),
+        ];
+        for allocator in &mut allocators {
+            for (i, &h) in harvests.iter().enumerate() {
+                let budget = allocator.allocate(
+                    (i % 24) as u32,
+                    Energy::from_joules(h),
+                    &battery,
+                );
+                prop_assert!(!budget.is_negative(), "{} went negative", allocator.name());
+                prop_assert!(
+                    budget.joules() <= 12.0 + battery.capacity().joules(),
+                    "{} budget {budget} is implausible",
+                    allocator.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_is_lossless_enough(seed in 0u64..100) {
+        let trace = HarvestTrace::september_like(seed);
+        let back = HarvestTrace::from_csv(trace.start_day_of_year(), &trace.to_csv())
+            .expect("parses");
+        prop_assert_eq!(trace.len_hours(), back.len_hours());
+        for (a, b) in trace.iter().zip(back.iter()) {
+            prop_assert!((a.joules() - b.joules()).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Stress tests for the simplex: Klee-Minty cubes (the classic
+//! worst case for Dantzig's rule), badly scaled problems, and larger
+//! random instances.
+
+use reap_lp::oracle::{best_vertex, OracleResult};
+use reap_lp::{LpProblem, LpStatus, Relation, SimplexOptions};
+
+/// The Klee-Minty cube in `n` dimensions:
+///
+/// ```text
+/// maximize  sum_j 2^(n-j) x_j
+/// s.t.      2 * sum_{j<i} 2^(i-j) x_j + x_i <= 5^i      (i = 1..n)
+/// ```
+///
+/// Dantzig's rule can visit an exponential number of vertices here; the
+/// solver must still terminate and find the optimum (which the oracle
+/// verifies for small `n`).
+fn klee_minty(n: usize) -> LpProblem {
+    let objective: Vec<f64> = (1..=n).map(|j| 2f64.powi((n - j) as i32)).collect();
+    let mut p = LpProblem::maximize(&objective);
+    for i in 1..=n {
+        let mut row = vec![0.0; n];
+        for (j, r) in row.iter_mut().enumerate().take(i - 1) {
+            *r = 2.0 * 2f64.powi((i - 1 - j) as i32);
+        }
+        row[i - 1] = 1.0;
+        p.subject_to(&row, Relation::Le, 5f64.powi(i as i32))
+            .expect("consistent dims");
+    }
+    p
+}
+
+#[test]
+fn klee_minty_small_matches_oracle() {
+    for n in 2..=5 {
+        let p = klee_minty(n);
+        let s = p.solve().expect("terminates");
+        assert_eq!(s.status(), LpStatus::Optimal, "n = {n}");
+        match best_vertex(&p, 1e-7) {
+            OracleResult::Optimal { objective, .. } => {
+                assert!(
+                    (s.objective() - objective).abs() < 1e-6 * (1.0 + objective.abs()),
+                    "n = {n}: simplex {} vs oracle {objective}",
+                    s.objective()
+                );
+            }
+            OracleResult::NoVertex => panic!("oracle failed on n = {n}"),
+        }
+        // The known closed form: optimum value is 5^n.
+        assert!(
+            (s.objective() - 5f64.powi(n as i32)).abs() < 1e-6 * 5f64.powi(n as i32),
+            "n = {n}: objective {}",
+            s.objective()
+        );
+    }
+}
+
+#[test]
+fn klee_minty_larger_terminates_within_budget() {
+    let p = klee_minty(10);
+    let s = p.solve().expect("terminates within default iteration cap");
+    assert_eq!(s.status(), LpStatus::Optimal);
+    assert!(
+        (s.objective() - 5f64.powi(10)).abs() < 1e-4 * 5f64.powi(10),
+        "objective {}",
+        s.objective()
+    );
+}
+
+#[test]
+fn badly_scaled_problem_is_solved() {
+    // Coefficients spanning 9 orders of magnitude (as in the REAP LP:
+    // microwatt powers, kilosecond times).
+    let mut p = LpProblem::maximize(&[1e-6, 1e3]);
+    p.subject_to(&[1e-6, 1e3], Relation::Le, 2e3).unwrap();
+    p.subject_to(&[1.0, 0.0], Relation::Le, 1e9).unwrap();
+    let s = p.solve().expect("solves");
+    assert_eq!(s.status(), LpStatus::Optimal);
+    assert!((s.objective() - 2e3).abs() < 1e-3);
+}
+
+#[test]
+fn hundred_variable_reap_shaped_instance() {
+    // The paper's N = 100 design-point configuration.
+    let n = 100;
+    let tp = 3600.0;
+    let mut objective: Vec<f64> = (0..n)
+        .map(|i| (0.5 + 0.45 * i as f64 / n as f64) / tp)
+        .collect();
+    objective.push(0.0);
+    let mut p = LpProblem::maximize(&objective);
+    let ones = vec![1.0; n + 1];
+    p.subject_to(&ones, Relation::Eq, tp).unwrap();
+    let mut powers: Vec<f64> = (0..n)
+        .map(|i| (1.0 + 2.0 * i as f64 / n as f64) * 1e-3)
+        .collect();
+    powers.push(50e-6);
+    p.subject_to(&powers, Relation::Le, 5.0).unwrap();
+    let s = p.solve().expect("solves");
+    assert_eq!(s.status(), LpStatus::Optimal);
+    assert!(p.is_feasible(s.values(), 1e-6));
+    // Optimum still mixes at most two points.
+    let active = s.values()[..n].iter().filter(|&&t| t > 1e-6).count();
+    assert!(active <= 2, "{active} active variables");
+    // And the solve stays fast (the paper's premise for running this
+    // every hour on an MCU).
+    assert!(s.iterations() < 500, "{} iterations", s.iterations());
+}
+
+#[test]
+fn tight_iteration_budget_reports_limit_not_wrong_answer() {
+    let p = klee_minty(8);
+    let result = p.solve_with(&SimplexOptions {
+        max_iterations: 2,
+        ..SimplexOptions::default()
+    });
+    assert!(result.is_err(), "must refuse, not return a wrong optimum");
+}

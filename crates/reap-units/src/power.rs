@@ -1,0 +1,241 @@
+//! The [`Power`] quantity (stored internally in watts).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use crate::{Energy, TimeSpan};
+
+/// A rate of energy use, stored in watts.
+///
+/// Wearable design points in the REAP paper draw between 50 µW (off-state
+/// harvesting circuitry) and ~2.8 mW (the highest-accuracy design point), so
+/// the milliwatt constructors/getters are the ones used most.
+///
+/// # Examples
+///
+/// ```
+/// use reap_units::{Power, TimeSpan};
+///
+/// let p_off = Power::from_microwatts(50.0);
+/// let hour = TimeSpan::from_hours(1.0);
+/// assert!((p_off * hour).joules() - 0.18 < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Power(f64);
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0.0);
+
+    /// Creates a power from watts.
+    #[must_use]
+    pub fn from_watts(watts: f64) -> Self {
+        Power(watts)
+    }
+
+    /// Creates a power from milliwatts.
+    #[must_use]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Power(mw * 1e-3)
+    }
+
+    /// Creates a power from microwatts.
+    #[must_use]
+    pub fn from_microwatts(uw: f64) -> Self {
+        Power(uw * 1e-6)
+    }
+
+    /// The value in watts.
+    #[must_use]
+    pub fn watts(self) -> f64 {
+        self.0
+    }
+
+    /// The value in milliwatts.
+    #[must_use]
+    pub fn milliwatts(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// The value in microwatts.
+    #[must_use]
+    pub fn microwatts(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Returns the smaller of `self` and `other`.
+    #[must_use]
+    pub fn min(self, other: Power) -> Power {
+        Power(self.0.min(other.0))
+    }
+
+    /// Returns the larger of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: Power) -> Power {
+        Power(self.0.max(other.0))
+    }
+
+    /// `true` if the underlying value is finite (not NaN or infinite).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// `true` if the value is negative.
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0.0
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let abs = self.0.abs();
+        if abs == 0.0 || abs >= 1e-1 {
+            write!(f, "{:.4} W", self.0)
+        } else if abs >= 1e-4 {
+            write!(f, "{:.4} mW", self.milliwatts())
+        } else {
+            write!(f, "{:.4} uW", self.microwatts())
+        }
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Power {
+    fn add_assign(&mut self, rhs: Power) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Power {
+    type Output = Power;
+    fn sub(self, rhs: Power) -> Power {
+        Power(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Power {
+    fn sub_assign(&mut self, rhs: Power) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Power {
+    type Output = Power;
+    fn neg(self) -> Power {
+        Power(-self.0)
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    fn mul(self, rhs: f64) -> Power {
+        Power(self.0 * rhs)
+    }
+}
+
+impl Mul<Power> for f64 {
+    type Output = Power;
+    fn mul(self, rhs: Power) -> Power {
+        Power(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Power {
+    type Output = Power;
+    fn div(self, rhs: f64) -> Power {
+        Power(self.0 / rhs)
+    }
+}
+
+/// Dimensionless ratio of two powers.
+impl Div<Power> for Power {
+    type Output = f64;
+    fn div(self, rhs: Power) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+/// Power sustained over a time span yields an energy.
+impl Mul<TimeSpan> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: TimeSpan) -> Energy {
+        Energy::from_joules(self.0 * rhs.seconds())
+    }
+}
+
+impl Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        iter.fold(Power::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Power> for Power {
+    fn sum<I: Iterator<Item = &'a Power>>(iter: I) -> Power {
+        iter.copied().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_getters_are_consistent() {
+        let p = Power::from_milliwatts(2.76);
+        assert!((p.watts() - 0.00276).abs() < 1e-15);
+        assert!((p.microwatts() - 2760.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Power::from_watts(2.0);
+        let b = Power::from_watts(0.5);
+        assert_eq!((a + b).watts(), 2.5);
+        assert_eq!((a - b).watts(), 1.5);
+        assert_eq!((a * 3.0).watts(), 6.0);
+        assert_eq!((3.0 * a).watts(), 6.0);
+        assert_eq!((a / 2.0).watts(), 1.0);
+        assert_eq!(a / b, 4.0);
+        assert_eq!((-b).watts(), -0.5);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        // DP1 from the paper: 2.76 mW for an hour = 9.936 J ("9.9 J").
+        let e = Power::from_milliwatts(2.76) * TimeSpan::from_hours(1.0);
+        assert!((e.joules() - 9.936).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_of_powers() {
+        let total: Power = [1.0, 2.0, 3.0]
+            .iter()
+            .map(|&w| Power::from_watts(w))
+            .sum();
+        assert_eq!(total.watts(), 6.0);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(format!("{}", Power::from_watts(1.5)), "1.5000 W");
+        assert_eq!(format!("{}", Power::from_milliwatts(2.76)), "2.7600 mW");
+        assert_eq!(format!("{}", Power::from_microwatts(50.0)), "50.0000 uW");
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Power::from_watts(1.0);
+        let b = Power::from_watts(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+}

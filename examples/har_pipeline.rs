@@ -1,0 +1,48 @@
+//! End-to-end HAR pipeline: synthesize the 14-user study, train the five
+//! Pareto design points, and characterize them on the device model —
+//! the "model mode" equivalent of the paper's Table 2.
+//!
+//! ```text
+//! cargo run --release --example har_pipeline
+//! ```
+
+use reap::data::Dataset;
+use reap::device::characterize;
+use reap::har::{train_classifier, DesignPoint, DpConfig, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("generating the synthetic 14-user study (3553 windows)...");
+    let dataset = Dataset::user_study(42);
+    let counts = dataset.class_counts();
+    println!("class counts: {counts:?}\n");
+
+    let train_config = TrainConfig {
+        seed: 42,
+        ..TrainConfig::default()
+    };
+
+    println!("training the five Pareto design points:\n");
+    let paper_accuracy = [0.94, 0.93, 0.92, 0.90, 0.76];
+    for (i, config) in DpConfig::paper_pareto_5().iter().enumerate() {
+        let trained = train_classifier(&dataset, config, &train_config)?;
+        let point = DesignPoint::new(i as u8 + 1, config.clone(), trained.test_accuracy)?;
+        let characterized = characterize(&point);
+        println!(
+            "DP{}: accuracy {:.1}% (paper: {:.0}%), validation {:.1}%  | {:.2} mJ/activity, {:.2} mW",
+            i + 1,
+            trained.test_accuracy * 100.0,
+            paper_accuracy[i] * 100.0,
+            trained.validation_accuracy * 100.0,
+            characterized.total_energy().millijoules(),
+            characterized.average_power.milliwatts(),
+        );
+        if i == 0 {
+            println!("\nDP1 confusion matrix (test partition):");
+            println!("{}\n", trained.confusion);
+            if let Some((t, p, n)) = trained.confusion.worst_confusion() {
+                println!("most confused pair: {t} mistaken for {p} ({n} windows)\n");
+            }
+        }
+    }
+    Ok(())
+}

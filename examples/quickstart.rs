@@ -1,0 +1,49 @@
+//! Quickstart: plan an hour of operation under a harvested-energy budget.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use reap::core::{static_schedule, ReapProblem};
+use reap::units::{Energy, Power, TimeSpan};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The five Pareto-optimal design points of the paper's Table 2,
+    // with published accuracies and power draws.
+    let points = reap::device::paper_table2_operating_points();
+
+    // One-hour activity period, 50 uW off-state draw, alpha = 1
+    // (maximize expected accuracy).
+    let problem = ReapProblem::builder()
+        .period(TimeSpan::from_hours(1.0))
+        .off_power(Power::from_microwatts(50.0))
+        .alpha(1.0)
+        .points(points)
+        .build()?;
+
+    println!("REAP quickstart: one hour, five design points\n");
+    for joules in [1.0, 3.0, 5.0, 7.0, 10.0] {
+        let budget = Energy::from_joules(joules);
+        let schedule = problem.solve(budget)?;
+        println!("budget {joules:.1} J:");
+        println!("{schedule}");
+
+        // Compare with the best static design point at this budget.
+        let best_static = problem
+            .points()
+            .iter()
+            .map(|p| static_schedule(&problem, p.id(), budget).expect("valid"))
+            .max_by(|a, b| {
+                a.objective(1.0)
+                    .partial_cmp(&b.objective(1.0))
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        println!(
+            "  vs best static: REAP J = {:.3}, best static J = {:.3}\n",
+            schedule.objective(1.0),
+            best_static.objective(1.0)
+        );
+    }
+    Ok(())
+}

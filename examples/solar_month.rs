@@ -1,0 +1,61 @@
+//! Month-long solar case study (the paper's Sec. 5.4): run REAP and the
+//! static design points over a September-like month of harvested energy
+//! and compare realized performance.
+//!
+//! ```text
+//! cargo run --release --example solar_month
+//! ```
+
+use reap::harvest::HarvestTrace;
+use reap::sim::Scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = HarvestTrace::september_like(2019);
+    println!(
+        "September-like month at Golden, CO: {} days, {:.0} J total harvest, {:.2} J peak hour\n",
+        trace.days(),
+        trace.total().joules(),
+        trace.peak().joules()
+    );
+
+    let scenario = Scenario::builder(trace)
+        .points(reap::device::paper_table2_operating_points())
+        .alpha(1.0)
+        .build()?;
+
+    let (reap_report, statics) = scenario.run_all()?;
+
+    println!("{reap_report}");
+    for s in &statics {
+        println!("{s}");
+    }
+
+    println!("\nper-policy summary (alpha = 1):");
+    println!(
+        "  {:<6} {:>10} {:>12} {:>12} {:>10}",
+        "policy", "J total", "accuracy", "active (h)", "brownouts"
+    );
+    let mut rows = vec![&reap_report];
+    rows.extend(statics.iter());
+    for r in rows {
+        println!(
+            "  {:<6} {:>10.1} {:>11.1}% {:>12.1} {:>10}",
+            r.policy_name(),
+            r.total_objective(1.0),
+            r.mean_accuracy() * 100.0,
+            r.total_active_time().hours(),
+            r.brownout_hours()
+        );
+    }
+
+    println!("\nREAP normalized to each static policy (per-day min/mean/max):");
+    for s in &statics {
+        if let Some((min, mean, max)) = reap_report.normalized_daily(s, 1.0) {
+            println!(
+                "  vs {:<4} {min:.2} / {mean:.2} / {max:.2}",
+                s.policy_name()
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Reproducibility: every stochastic component in the workspace is
+//! seeded, so identical seeds must give bit-identical results across the
+//! whole stack — the property that makes the experiment harness
+//! trustworthy.
+
+use reap::data::Dataset;
+use reap::har::{train_classifier, DpConfig, TrainConfig};
+use reap::harvest::HarvestTrace;
+use reap::sim::{Policy, Scenario};
+use reap::units::Energy;
+
+#[test]
+fn dataset_generation_is_bit_reproducible() {
+    let a = Dataset::generate(3, 210, 77);
+    let b = Dataset::generate(3, 210, 77);
+    assert_eq!(a, b);
+    assert_ne!(a, Dataset::generate(3, 210, 78));
+}
+
+#[test]
+fn training_is_bit_reproducible() {
+    let dataset = Dataset::generate(3, 210, 5);
+    let config = &DpConfig::paper_pareto_5()[4];
+    let a = train_classifier(&dataset, config, &TrainConfig::fast(5)).expect("trains");
+    let b = train_classifier(&dataset, config, &TrainConfig::fast(5)).expect("trains");
+    assert_eq!(a.test_accuracy, b.test_accuracy);
+    assert_eq!(a.confusion, b.confusion);
+}
+
+#[test]
+fn harvest_traces_are_bit_reproducible() {
+    assert_eq!(
+        HarvestTrace::september_like(123),
+        HarvestTrace::september_like(123)
+    );
+}
+
+#[test]
+fn whole_simulations_are_bit_reproducible() {
+    let build = || {
+        Scenario::builder(HarvestTrace::september_like(3))
+            .points(reap::device::paper_table2_operating_points())
+            .build()
+            .expect("valid")
+    };
+    let a = build().run(Policy::Reap).expect("runs");
+    let b = build().run(Policy::Reap).expect("runs");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn solver_output_does_not_depend_on_call_history() {
+    // Solving other budgets in between must not perturb a solve.
+    let problem = reap::core::ReapProblem::builder()
+        .points(reap::device::paper_table2_operating_points())
+        .build()
+        .expect("valid");
+    let before = problem.solve(Energy::from_joules(5.0)).expect("solvable");
+    for j in [0.2, 1.0, 7.7, 11.0] {
+        let _ = problem.solve(Energy::from_joules(j)).expect("solvable");
+    }
+    let after = problem.solve(Energy::from_joules(5.0)).expect("solvable");
+    assert_eq!(before, after);
+}
