@@ -73,8 +73,8 @@ fn main() {
     let problem = reap_bench::standard_problem(points, 1.0);
     let battery = Battery::small_wearable();
     let forecast: Vec<Energy> = trace.iter().collect();
-    let plan = plan_horizon(&problem, &forecast, battery.level(), battery.capacity())
-        .expect("plannable");
+    let plan =
+        plan_horizon(&problem, &forecast, battery.level(), battery.capacity()).expect("plannable");
     println!(
         "\nperfect-forecast lookahead upper bound: J = {:.1}, active {:.1} h, spilled {:.1} J",
         plan.total_objective(1.0),

@@ -15,7 +15,10 @@ fn main() {
 
     println!("Ablation: classifier weight quantization (flash-image size vs accuracy)");
     println!("========================================================================");
-    println!("training on the synthetic user study{}...", if quick { " (quick)" } else { "" });
+    println!(
+        "training on the synthetic user study{}...",
+        if quick { " (quick)" } else { "" }
+    );
 
     let dataset = bench_dataset(quick);
     let train_config = bench_train_config(quick);

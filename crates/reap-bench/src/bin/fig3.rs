@@ -18,8 +18,10 @@ fn main() {
 
     println!("Fig. 3: energy-accuracy trade-off of the 24 design points");
     println!("==========================================================");
-    println!("training 24 classifiers on the synthetic user study{}...",
-        if quick { " (quick mode)" } else { "" });
+    println!(
+        "training 24 classifiers on the synthetic user study{}...",
+        if quick { " (quick mode)" } else { "" }
+    );
 
     let all = characterize_all_24(quick);
     let points: Vec<(f64, f64)> = all
@@ -51,7 +53,11 @@ fn main() {
                     format!("{}", c.point.id),
                     format!("{:.2}", c.total_energy().millijoules()),
                     format!("{:.1}", c.point.accuracy * 100.0),
-                    if front.contains(&i) { "*".into() } else { "".into() },
+                    if front.contains(&i) {
+                        "*".into()
+                    } else {
+                        "".into()
+                    },
                     format!("{}", c.point.config),
                 ],
                 &widths
@@ -72,10 +78,10 @@ fn main() {
     let (a_min, a_max) = (0.45, 1.0);
     let mut grid = vec![vec![' '; cols]; rows];
     for (i, &(e, a)) in points.iter().enumerate() {
-        let x = (((e - e_min) / (e_max - e_min)) * (cols - 1) as f64)
-            .clamp(0.0, (cols - 1) as f64) as usize;
-        let y = (((a - a_min) / (a_max - a_min)) * (rows - 1) as f64)
-            .clamp(0.0, (rows - 1) as f64) as usize;
+        let x = (((e - e_min) / (e_max - e_min)) * (cols - 1) as f64).clamp(0.0, (cols - 1) as f64)
+            as usize;
+        let y = (((a - a_min) / (a_max - a_min)) * (rows - 1) as f64).clamp(0.0, (rows - 1) as f64)
+            as usize;
         let marker = if front.contains(&i) { '#' } else { 'o' };
         grid[rows - 1 - y][x] = marker;
     }
@@ -84,6 +90,10 @@ fn main() {
         println!("{:>5.1} |{}", acc * 100.0, line.iter().collect::<String>());
     }
     println!("      +{}", "-".repeat(cols));
-    println!("       {:<28}{:>28}", format!("{e_min} mJ"), format!("{e_max} mJ"));
+    println!(
+        "       {:<28}{:>28}",
+        format!("{e_min} mJ"),
+        format!("{e_max} mJ")
+    );
     println!("\n('#' = Pareto-optimal, 'o' = dominated)");
 }

@@ -20,7 +20,11 @@ fn main() {
     for (label, e) in b.components() {
         let frac = e / total;
         let bar = "#".repeat((frac * 50.0).round() as usize);
-        println!("  {label:<24} {:>7.3} J  {:>5.1}%  {bar}", e.joules(), frac * 100.0);
+        println!(
+            "  {label:<24} {:>7.3} J  {:>5.1}%  {bar}",
+            e.joules(),
+            frac * 100.0
+        );
     }
     println!("  {:<24} {:>7.3} J", "total", total.joules());
 

@@ -20,14 +20,10 @@ fn main() {
 
     let points = operating_points(mode, quick);
     let problem = reap_bench::standard_problem(points, 1.0);
-    let budgets: Vec<Energy> = linspace(
-        problem.min_budget().joules(),
-        10.5,
-        42,
-    )
-    .into_iter()
-    .map(Energy::from_joules)
-    .collect();
+    let budgets: Vec<Energy> = linspace(problem.min_budget().joules(), 10.5, 42)
+        .into_iter()
+        .map(Energy::from_joules)
+        .collect();
     let sweep = energy_sweep(&problem, &budgets).expect("sweep is solvable");
 
     let widths = [9usize, 7, 7, 7, 7, 7, 7];
@@ -95,8 +91,8 @@ fn main() {
         s5.fraction_for(5) * 100.0
     );
     let s3 = at(3.0);
-    let dp1_static = reap_core::static_schedule(&problem, 1, Energy::from_joules(3.0))
-        .expect("solvable");
+    let dp1_static =
+        reap_core::static_schedule(&problem, 1, Energy::from_joules(3.0)).expect("solvable");
     println!(
         "  Eb = 3 J (Region 1): REAP active time is {:.1}x DP1's (paper: ~2.3x)",
         s3.active_time() / dp1_static.active_time()

@@ -73,7 +73,9 @@ fn main() {
     }
 
     println!("\nexpected qualitative shape (paper, Sec. 5.4):");
-    println!("  vs DP1: ~1.6x mean at alpha = 0.5 (range 1.4-2.2), declining to 1.1-1.3x at alpha = 8");
+    println!(
+        "  vs DP1: ~1.6x mean at alpha = 0.5 (range 1.4-2.2), declining to 1.1-1.3x at alpha = 8"
+    );
     println!("  vs DP3: 1.1-1.4x at alpha = 0.5, declining with alpha (best-trade-off baseline)");
     println!("  vs DP5: near 1x at alpha = 0.5, growing steeply with alpha");
 }

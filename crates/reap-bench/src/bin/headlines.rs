@@ -61,8 +61,7 @@ fn main() {
     // fully active but accuracy-starved.
     println!("\nvs low-power design points (budgets where they saturate):");
     for (idx, id) in [(3usize, 4u8), (4, 5)] {
-        let saturation = problem.point(id).expect("exists").power()
-            * problem.period();
+        let saturation = problem.point(id).expect("exists").power() * problem.period();
         let budgets: Vec<Energy> = linspace(
             saturation.joules(),
             problem.saturation_budget().joules(),
@@ -116,5 +115,7 @@ fn main() {
         let per_solve = start.elapsed().as_secs_f64() * 1e3 / runs as f64;
         println!("  N = {n_points:>3}: {per_solve:.3} ms/solve");
     }
-    println!("  (paper, 47 MHz MCU: 1.5 ms at N=5, 8 ms at N=100 — shape should be mildly super-linear)");
+    println!(
+        "  (paper, 47 MHz MCU: 1.5 ms at N=5, 8 ms at N=100 — shape should be mildly super-linear)"
+    );
 }

@@ -46,7 +46,12 @@ fn main() {
                     format!("{:.2}", total_offload.millijoules()),
                     format!("{:.2}", on_device.millijoules()),
                     format!("{:.2}", total_local.millijoules()),
-                    if total_local < total_offload { "local" } else { "offload" }.into(),
+                    if total_local < total_offload {
+                        "local"
+                    } else {
+                        "offload"
+                    }
+                    .into(),
                 ],
                 &widths
             )

@@ -36,7 +36,11 @@ fn main() {
             println!(
                 "  {:<22} {:<18} {:<14} {:.4}",
                 format!("{:.2} .. {:.2}", lo.joules(), hi.joules()),
-                if ids.is_empty() { "(off)".to_string() } else { ids.join("+") },
+                if ids.is_empty() {
+                    "(off)".to_string()
+                } else {
+                    ids.join("+")
+                },
                 region.fully_active,
                 price
             );

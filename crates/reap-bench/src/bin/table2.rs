@@ -5,7 +5,7 @@
 //! cargo run --release -p reap-bench --bin table2 [-- --char model --quick]
 //! ```
 
-use reap_bench::{parse_char_mode, pareto_characterization, row, rule, CharMode};
+use reap_bench::{pareto_characterization, parse_char_mode, row, rule, CharMode};
 
 fn print_table(title: &str, rows: &[reap_device::CharacterizedDp]) {
     let widths = [4usize, 9, 10, 11, 8, 9, 9, 11, 11, 10];
@@ -68,9 +68,11 @@ fn main() {
         CharMode::Paper => {
             // Show the calibrated device model with paper accuracies so
             // the reader can compare the two characterizations directly.
-            let modeled =
-                reap_device::characterize_all(&reap_har::DesignPoint::paper_five());
-            print_table("Device-model characterization (paper accuracies):", &modeled);
+            let modeled = reap_device::characterize_all(&reap_har::DesignPoint::paper_five());
+            print_table(
+                "Device-model characterization (paper accuracies):",
+                &modeled,
+            );
         }
         CharMode::Model => {
             println!("\ntraining classifiers on the synthetic user study...");

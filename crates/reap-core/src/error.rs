@@ -40,10 +40,9 @@ impl fmt::Display for ReapError {
         match self {
             ReapError::NoPoints => write!(f, "problem has no operating points"),
             ReapError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
-            ReapError::BudgetTooSmall { budget, minimum } => write!(
-                f,
-                "budget {budget} is below the off-state floor {minimum}"
-            ),
+            ReapError::BudgetTooSmall { budget, minimum } => {
+                write!(f, "budget {budget} is below the off-state floor {minimum}")
+            }
             ReapError::Lp(e) => write!(f, "lp solver failed: {e}"),
             ReapError::SolverInconsistency(msg) => {
                 write!(f, "solver produced an inconsistent result: {msg}")

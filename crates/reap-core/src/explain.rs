@@ -78,8 +78,7 @@ pub fn explain(
     ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
 
     let fully_active = schedule.active_fraction() > 1.0 - 1e-6;
-    let energy_exhausted =
-        schedule.energy().joules() >= budget.joules() * (1.0 - 1e-6) - 1e-9;
+    let energy_exhausted = schedule.energy().joules() >= budget.joules() * (1.0 - 1e-6) - 1e-9;
     let binding = match (fully_active, energy_exhausted) {
         (true, true) => BindingConstraint::Both,
         (true, false) => BindingConstraint::Time,

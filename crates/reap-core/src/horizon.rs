@@ -51,7 +51,10 @@ impl HorizonPlan {
     /// Total objective over the horizon (sum of per-period `J(t)`).
     #[must_use]
     pub fn total_objective(&self, alpha: f64) -> f64 {
-        self.schedules.iter().map(|s| s.objective(alpha)).sum::<f64>() + 0.0
+        self.schedules
+            .iter()
+            .map(|s| s.objective(alpha))
+            .sum::<f64>()
     }
 
     /// Total active time over the horizon.

@@ -83,4 +83,6 @@ pub use problem::{ReapProblem, ReapProblemBuilder};
 pub use regions::{detect_regions, Region, RegionMap};
 pub use schedule::{Allocation, Schedule};
 pub use static_policy::static_schedule;
-pub use sweep::{alpha_sweep, energy_shadow_price, energy_sweep, linspace, AlphaSweepPoint, SweepPoint};
+pub use sweep::{
+    alpha_sweep, energy_shadow_price, energy_sweep, linspace, AlphaSweepPoint, SweepPoint,
+};

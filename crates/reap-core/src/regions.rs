@@ -106,7 +106,11 @@ pub fn detect_regions(problem: &ReapProblem, resolution: usize) -> Result<Region
     for k in 0..resolution {
         let budget = Energy::from_joules(lo + step * k as f64);
         let schedule = problem.solve(budget)?;
-        let ids: Vec<u8> = schedule.allocations().iter().map(|a| a.point.id()).collect();
+        let ids: Vec<u8> = schedule
+            .allocations()
+            .iter()
+            .map(|a| a.point.id())
+            .collect();
         let fully_active = schedule.active_fraction() > 1.0 - 1e-6;
         match &mut current {
             Some((cur_ids, cur_full)) if *cur_ids == ids && *cur_full == fully_active => {}
@@ -183,10 +187,7 @@ mod tests {
         assert!(region3.active_ids.contains(&1));
         assert!(region3.fully_active);
         // The DP5 saturation boundary sits near 4.3 J (the paper's knee).
-        let knee = map
-            .bounds
-            .iter()
-            .find(|b| (b.joules() - 4.32).abs() < 0.1);
+        let knee = map.bounds.iter().find(|b| (b.joules() - 4.32).abs() < 0.1);
         assert!(knee.is_some(), "no boundary near 4.32 J: {:?}", map.bounds);
     }
 

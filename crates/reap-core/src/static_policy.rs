@@ -125,7 +125,9 @@ mod tests {
     #[test]
     fn reap_never_loses_to_any_static_point() {
         let p = paper_problem();
-        for b in [0.2, 0.5, 1.0, 2.0, 3.5, 4.32, 5.0, 6.0, 7.5, 9.0, 9.936, 11.0] {
+        for b in [
+            0.2, 0.5, 1.0, 2.0, 3.5, 4.32, 5.0, 6.0, 7.5, 9.0, 9.936, 11.0,
+        ] {
             let budget = Energy::from_joules(b);
             let reap = p.solve(budget).unwrap();
             for point in p.points() {

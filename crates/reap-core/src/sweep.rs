@@ -261,10 +261,7 @@ mod tests {
             .map(|&j| energy_shadow_price(&p, Energy::from_joules(j)).unwrap())
             .collect();
         for w in prices.windows(2) {
-            assert!(
-                w[1] <= w[0] + 1e-9,
-                "shadow price increased: {prices:?}"
-            );
+            assert!(w[1] <= w[0] + 1e-9, "shadow price increased: {prices:?}");
         }
         assert!(prices[0] > 0.1, "starved shadow price {}", prices[0]);
         // Beyond saturation an extra joule buys nothing.
@@ -275,12 +272,7 @@ mod tests {
     #[test]
     fn alpha_sweep_statics_lose_to_reap() {
         let p = paper_problem(1.0);
-        let rows = alpha_sweep(
-            &p,
-            Energy::from_joules(4.0),
-            &[0.5, 1.0, 2.0, 4.0, 8.0],
-        )
-        .unwrap();
+        let rows = alpha_sweep(&p, Energy::from_joules(4.0), &[0.5, 1.0, 2.0, 4.0, 8.0]).unwrap();
         assert_eq!(rows.len(), 5);
         for row in &rows {
             for s in &row.statics {

@@ -12,7 +12,14 @@ fn arb_instance() -> impl Strategy<Value = (ReapProblem, Energy)> {
     (
         proptest::collection::vec(point, 1..8),
         0.0f64..=1.2,
-        prop_oneof![Just(0.0), Just(0.5), Just(1.0), Just(2.0), Just(4.0), Just(8.0)],
+        prop_oneof![
+            Just(0.0),
+            Just(0.5),
+            Just(1.0),
+            Just(2.0),
+            Just(4.0),
+            Just(8.0)
+        ],
     )
         .prop_map(|(specs, budget_frac, alpha)| {
             let p_off = Power::from_microwatts(50.0);

@@ -110,10 +110,7 @@ impl Dataset {
             }
         }
 
-        Dataset {
-            windows,
-            num_users,
-        }
+        Dataset { windows, num_users }
     }
 
     /// All windows, in generation order (grouped by user, then class).

@@ -132,39 +132,48 @@ mod tests {
         let d = dataset();
         // Sit vs stand: far apart on the stretch mean (bent vs straight).
         let sit_stand =
-            fisher_separability(&d, Activity::Sit, Activity::Stand, Channel::StretchMean)
-                .unwrap();
-        assert!(sit_stand > 4.0, "sit/stand stretch separability {sit_stand}");
+            fisher_separability(&d, Activity::Sit, Activity::Stand, Channel::StretchMean).unwrap();
+        assert!(
+            sit_stand > 4.0,
+            "sit/stand stretch separability {sit_stand}"
+        );
         // Sit vs drive: heavily overlapping — the designed DP5 weakness.
         let sit_drive =
-            fisher_separability(&d, Activity::Sit, Activity::Drive, Channel::StretchMean)
-                .unwrap();
-        assert!(sit_drive < 1.0, "sit/drive stretch separability {sit_drive}");
+            fisher_separability(&d, Activity::Sit, Activity::Drive, Channel::StretchMean).unwrap();
+        assert!(
+            sit_drive < 1.0,
+            "sit/drive stretch separability {sit_drive}"
+        );
         // Stand vs lie: also overlapping on stretch alone.
         let stand_lie =
             fisher_separability(&d, Activity::Stand, Activity::LieDown, Channel::StretchMean)
                 .unwrap();
-        assert!(stand_lie < 1.5, "stand/lie stretch separability {stand_lie}");
+        assert!(
+            stand_lie < 1.5,
+            "stand/lie stretch separability {stand_lie}"
+        );
     }
 
     #[test]
     fn accelerometer_recovers_the_confusable_pairs() {
         let d = dataset();
         // Stand vs lie: the x-axis gravity mean separates them sharply.
-        let stand_lie =
-            fisher_separability(&d, Activity::Stand, Activity::LieDown, Channel::AccelMean(0))
-                .unwrap();
+        let stand_lie = fisher_separability(
+            &d,
+            Activity::Stand,
+            Activity::LieDown,
+            Channel::AccelMean(0),
+        )
+        .unwrap();
         assert!(stand_lie > 4.0, "stand/lie accel separability {stand_lie}");
         // Sit vs drive: the z-axis AC content (vibration) carries far more
         // signal than the stretch baseline, but smooth roads keep even it
         // from being trivially separable — drive stays the hard class, as
         // in real HAR studies.
         let sit_drive_accel =
-            fisher_separability(&d, Activity::Sit, Activity::Drive, Channel::AccelStd(2))
-                .unwrap();
+            fisher_separability(&d, Activity::Sit, Activity::Drive, Channel::AccelStd(2)).unwrap();
         let sit_drive_stretch =
-            fisher_separability(&d, Activity::Sit, Activity::Drive, Channel::StretchMean)
-                .unwrap();
+            fisher_separability(&d, Activity::Sit, Activity::Drive, Channel::StretchMean).unwrap();
         assert!(
             sit_drive_accel > 2.0 * sit_drive_stretch,
             "accel-std {sit_drive_accel} should dominate stretch {sit_drive_stretch}"
@@ -178,12 +187,11 @@ mod tests {
     #[test]
     fn dynamic_activities_stand_out_on_accel_std() {
         let d = dataset();
-        let walk_sit = fisher_separability(&d, Activity::Walk, Activity::Sit, Channel::AccelStd(2))
-            .unwrap();
+        let walk_sit =
+            fisher_separability(&d, Activity::Walk, Activity::Sit, Channel::AccelStd(2)).unwrap();
         assert!(walk_sit > 4.0, "walk/sit separability {walk_sit}");
         let jump_walk =
-            fisher_separability(&d, Activity::Jump, Activity::Walk, Channel::AccelStd(2))
-                .unwrap();
+            fisher_separability(&d, Activity::Jump, Activity::Walk, Channel::AccelStd(2)).unwrap();
         assert!(jump_walk > 1.0, "jump/walk separability {jump_walk}");
     }
 
@@ -191,8 +199,7 @@ mod tests {
     fn stretch_std_separates_walk_from_postures() {
         let d = dataset();
         let walk_stand =
-            fisher_separability(&d, Activity::Walk, Activity::Stand, Channel::StretchStd)
-                .unwrap();
+            fisher_separability(&d, Activity::Walk, Activity::Stand, Channel::StretchStd).unwrap();
         assert!(walk_stand > 4.0, "walk/stand stretch-std {walk_stand}");
     }
 }

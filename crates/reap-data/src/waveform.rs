@@ -76,13 +76,27 @@ pub(crate) fn accel_window<R: Rng + ?Sized>(
     // Per-window random phases / vibration structure.
     let phase: f64 = rng.gen_range(0.0..tau);
     let phase2: f64 = rng.gen_range(0.0..tau);
-    // Road roughness varies ride to ride; a smooth highway makes driving
-    // nearly indistinguishable from sitting even with the accelerometer.
-    let road: f64 = rng.gen_range(0.25..1.3);
+    // Road roughness varies ride to ride; a smooth highway keeps driving
+    // from being trivially separable from sitting, but engine-band
+    // vibration must still dominate the per-user noise floor or the
+    // accelerometer would carry no sit/drive signal at all.
+    let road: f64 = rng.gen_range(0.45..1.2);
     let vib: [(f64, f64, f64); 3] = [
-        (rng.gen_range(8.0..14.0), road * rng.gen_range(0.03..0.07), rng.gen_range(0.0..tau)),
-        (rng.gen_range(14.0..20.0), road * rng.gen_range(0.02..0.05), rng.gen_range(0.0..tau)),
-        (rng.gen_range(3.0..6.0), road * rng.gen_range(0.01..0.03), rng.gen_range(0.0..tau)),
+        (
+            rng.gen_range(8.0..14.0),
+            road * rng.gen_range(0.05..0.10),
+            rng.gen_range(0.0..tau),
+        ),
+        (
+            rng.gen_range(14.0..20.0),
+            road * rng.gen_range(0.03..0.06),
+            rng.gen_range(0.0..tau),
+        ),
+        (
+            rng.gen_range(3.0..6.0),
+            road * rng.gen_range(0.015..0.04),
+            rng.gen_range(0.0..tau),
+        ),
     ];
 
     let tremor = match activity {
@@ -113,7 +127,10 @@ pub(crate) fn accel_window<R: Rng + ?Sized>(
                 let s = (tau * f * t + phase).sin().max(0.0);
                 let spike = s.powi(8);
                 // Flight phase: near free-fall between spikes.
-                let flight = (tau * f * t + phase + std::f64::consts::PI).sin().max(0.0).powi(4);
+                let flight = (tau * f * t + phase + std::f64::consts::PI)
+                    .sin()
+                    .max(0.0)
+                    .powi(4);
                 sample[2] += a * spike - 0.85 * flight;
                 sample[1] += 0.35 * a * spike;
                 sample[0] += 0.15 * a * (tau * f * t + phase2).sin();
@@ -135,7 +152,11 @@ pub(crate) fn accel_window<R: Rng + ?Sized>(
         let rotated = apply_mount(sample, yaw, tilt);
         for (axis, value) in rotated.iter().enumerate() {
             let noisy = normal(rng, *value, profile.accel_noise_g)
-                + if tremor > 0.0 { normal(rng, 0.0, tremor) } else { 0.0 };
+                + if tremor > 0.0 {
+                    normal(rng, 0.0, tremor)
+                } else {
+                    0.0
+                };
             out[axis].push(noisy);
         }
     }
@@ -226,7 +247,10 @@ mod tests {
         // Count mean crossings of the z-axis: about 2 * f * T.
         let z = &walk[2];
         let m = mean(z);
-        let crossings = z.windows(2).filter(|w| (w[0] - m) * (w[1] - m) < 0.0).count();
+        let crossings = z
+            .windows(2)
+            .filter(|w| (w[0] - m) * (w[1] - m) < 0.0)
+            .count();
         let expected = 2.0 * p.gait_freq_hz * 1.6;
         // Harmonics and noise add a few extra crossings; allow slack.
         assert!(

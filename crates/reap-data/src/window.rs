@@ -78,8 +78,7 @@ impl ActivityWindow {
                     // maximal at w = 1/2).
                     let burst_env = 4.0 * w * (1.0 - w);
                     for axis in 0..3 {
-                        let blended =
-                            (1.0 - w) * accel_from[axis][n] + w * accel_to[axis][n];
+                        let blended = (1.0 - w) * accel_from[axis][n] + w * accel_to[axis][n];
                         let burst = burst_env * 0.35 * crate::noise::gauss(rng);
                         accel[axis].push(blended + burst);
                     }

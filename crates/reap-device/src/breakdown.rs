@@ -9,8 +9,10 @@ use std::fmt;
 use reap_har::{DesignPoint, StretchFeatures};
 use reap_units::Energy;
 
-use crate::constants::{windows_per_hour, ACCEL_BASE_MW, ACCEL_PER_AXIS_MW, MCU_COMPUTE_MW,
-    MCU_SAMPLE_HANDLING_MJ, STRETCH_MW};
+use crate::constants::{
+    windows_per_hour, ACCEL_BASE_MW, ACCEL_PER_AXIS_MW, MCU_COMPUTE_MW, MCU_SAMPLE_HANDLING_MJ,
+    STRETCH_MW,
+};
 use crate::timing;
 
 /// Energy consumed by each subsystem over one hour of continuous

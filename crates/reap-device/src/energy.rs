@@ -64,8 +64,7 @@ mod tests {
 
     #[test]
     fn mcu_energy_within_12_percent_of_table2() {
-        for (config, &(mcu, _, _)) in DpConfig::paper_pareto_5().iter().zip(TABLE2_ENERGY.iter())
-        {
+        for (config, &(mcu, _, _)) in DpConfig::paper_pareto_5().iter().zip(TABLE2_ENERGY.iter()) {
             let e = mcu_energy(config).millijoules();
             assert!(
                 rel_err(e, mcu) < 0.12,
@@ -76,8 +75,7 @@ mod tests {
 
     #[test]
     fn sensor_energy_within_12_percent_of_table2() {
-        for (config, &(_, sensor, _)) in
-            DpConfig::paper_pareto_5().iter().zip(TABLE2_ENERGY.iter())
+        for (config, &(_, sensor, _)) in DpConfig::paper_pareto_5().iter().zip(TABLE2_ENERGY.iter())
         {
             let e = sensor_energy(config).millijoules();
             assert!(
@@ -89,8 +87,7 @@ mod tests {
 
     #[test]
     fn total_energy_within_8_percent_of_table2() {
-        for (config, &(_, _, total)) in
-            DpConfig::paper_pareto_5().iter().zip(TABLE2_ENERGY.iter())
+        for (config, &(_, _, total)) in DpConfig::paper_pareto_5().iter().zip(TABLE2_ENERGY.iter())
         {
             let e = activity_energy(config).millijoules();
             assert!(

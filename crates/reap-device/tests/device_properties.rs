@@ -22,10 +22,7 @@ fn arb_config() -> impl Strategy<Value = DpConfig> {
         Just(SensingPeriod::P50),
         Just(SensingPeriod::P40),
     ];
-    let accel_features = prop_oneof![
-        Just(AccelFeatures::Statistical),
-        Just(AccelFeatures::Dwt),
-    ];
+    let accel_features = prop_oneof![Just(AccelFeatures::Statistical), Just(AccelFeatures::Dwt),];
     let stretch = prop_oneof![
         Just(StretchFeatures::Fft16),
         Just(StretchFeatures::Statistical),

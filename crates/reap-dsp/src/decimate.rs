@@ -55,7 +55,10 @@ pub fn halve(signal: &[f64]) -> Result<Vec<f64>, DspError> {
             min: 2,
         });
     }
-    Ok(signal.chunks(2).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect())
+    Ok(signal
+        .chunks(2)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect())
 }
 
 #[cfg(test)]

@@ -119,11 +119,7 @@ pub fn dwt_forward(
 /// # Panics
 ///
 /// Panics if the two halves have different lengths (caller bug).
-pub fn idwt_level(
-    approx: &[f64],
-    detail: &[f64],
-    wavelet: Wavelet,
-) -> Result<Vec<f64>, DspError> {
+pub fn idwt_level(approx: &[f64], detail: &[f64], wavelet: Wavelet) -> Result<Vec<f64>, DspError> {
     assert_eq!(
         approx.len(),
         detail.len(),
@@ -238,13 +234,18 @@ mod tests {
     fn subband_energy_separates_scales() {
         // A fast alternating signal puts its energy in the finest detail
         // band; a slow signal puts it in the approximation band.
-        let fast: Vec<f64> = (0..32).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let fast: Vec<f64> = (0..32)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let e_fast = subband_energies(&fast, Wavelet::Haar, 2).unwrap();
         assert!(e_fast[0] > 10.0 * e_fast[2], "fast: {e_fast:?}");
 
         let slow = vec![1.0; 32];
         let e_slow = subband_energies(&slow, Wavelet::Haar, 2).unwrap();
-        assert!(e_slow[2] > 10.0 * (e_slow[0] + e_slow[1]).max(1e-30), "slow: {e_slow:?}");
+        assert!(
+            e_slow[2] > 10.0 * (e_slow[0] + e_slow[1]).max(1e-30),
+            "slow: {e_slow:?}"
+        );
     }
 
     #[test]

@@ -47,6 +47,8 @@ mod tests {
     fn messages_are_informative() {
         assert!(DspError::NotPowerOfTwo { len: 3 }.to_string().contains('3'));
         assert!(DspError::EmptyInput.to_string().contains("empty"));
-        assert!(DspError::TooShort { len: 2, min: 4 }.to_string().contains('4'));
+        assert!(DspError::TooShort { len: 2, min: 4 }
+            .to_string()
+            .contains('4'));
     }
 }

@@ -288,7 +288,9 @@ mod tests {
 
     #[test]
     fn parseval_energy_conservation() {
-        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.37).sin() * 2.0 + 0.5).collect();
+        let x: Vec<f64> = (0..32)
+            .map(|i| (i as f64 * 0.37).sin() * 2.0 + 0.5)
+            .collect();
         let time_energy: f64 = x.iter().map(|v| v * v).sum();
         let spec = fft_real(&x).unwrap();
         let freq_energy: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / x.len() as f64;
@@ -316,9 +318,7 @@ mod tests {
         // bin = 2 Hz * 16 / 10 Hz = 3.2 -> nearest bin 3.
         let n = 16;
         let fs = 10.0;
-        let x: Vec<f64> = (0..n)
-            .map(|i| (TAU * 2.0 * i as f64 / fs).sin())
-            .collect();
+        let x: Vec<f64> = (0..n).map(|i| (TAU * 2.0 * i as f64 / fs).sin()).collect();
         let bin = dominant_bin(&x).unwrap();
         assert_eq!(bin, 3);
     }

@@ -80,7 +80,9 @@ mod tests {
     #[test]
     fn matches_fft_magnitudes_exactly() {
         let signal: Vec<f64> = (0..64)
-            .map(|i| (TAU * 3.0 * i as f64 / 64.0).sin() + 0.5 * (TAU * 9.0 * i as f64 / 64.0).cos())
+            .map(|i| {
+                (TAU * 3.0 * i as f64 / 64.0).sin() + 0.5 * (TAU * 9.0 * i as f64 / 64.0).cos()
+            })
             .collect();
         let spectrum = fft::fft_real(&signal).unwrap();
         for k in 0..32 {
@@ -96,7 +98,9 @@ mod tests {
     fn works_on_non_power_of_two_lengths() {
         // Goertzel has no power-of-two restriction — its raison d'etre on
         // a 160-sample window.
-        let signal: Vec<f64> = (0..160).map(|i| (TAU * 5.0 * i as f64 / 160.0).sin()).collect();
+        let signal: Vec<f64> = (0..160)
+            .map(|i| (TAU * 5.0 * i as f64 / 160.0).sin())
+            .collect();
         let mag = goertzel_magnitude(&signal, 5).unwrap();
         assert!((mag - 80.0).abs() < 1e-8); // N/2 for a unit sine
         let off = goertzel_magnitude(&signal, 11).unwrap();
@@ -105,7 +109,9 @@ mod tests {
 
     #[test]
     fn strongest_bin_finds_the_tone() {
-        let signal: Vec<f64> = (0..160).map(|i| (TAU * 4.0 * i as f64 / 160.0).sin()).collect();
+        let signal: Vec<f64> = (0..160)
+            .map(|i| (TAU * 4.0 * i as f64 / 160.0).sin())
+            .collect();
         let bins: Vec<usize> = (1..10).collect();
         assert_eq!(strongest_bin(&signal, &bins).unwrap(), 4);
     }

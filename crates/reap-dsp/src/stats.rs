@@ -114,7 +114,10 @@ pub fn mean_abs_deviation(x: &[f64]) -> Result<f64, DspError> {
 /// [`DspError::TooShort`] if the slice has fewer than 2 samples.
 pub fn mean_crossings(x: &[f64]) -> Result<usize, DspError> {
     if x.len() < 2 {
-        return Err(DspError::TooShort { len: x.len(), min: 2 });
+        return Err(DspError::TooShort {
+            len: x.len(),
+            min: 2,
+        });
     }
     let m = mean(x)?;
     let mut count = 0;
@@ -148,10 +151,7 @@ pub fn autocorrelation(x: &[f64], lag: usize) -> Result<f64, DspError> {
         // A constant signal is perfectly self-similar at every lag.
         return Ok(1.0);
     }
-    let num: f64 = x
-        .windows(lag + 1)
-        .map(|w| (w[0] - m) * (w[lag] - m))
-        .sum();
+    let num: f64 = x.windows(lag + 1).map(|w| (w[0] - m) * (w[lag] - m)).sum();
     Ok(num / denom)
 }
 
@@ -180,7 +180,10 @@ impl Summary {
     /// [`DspError::TooShort`] if the window has fewer than 2 samples.
     pub fn of(x: &[f64]) -> Result<Summary, DspError> {
         if x.len() < 2 {
-            return Err(DspError::TooShort { len: x.len(), min: 2 });
+            return Err(DspError::TooShort {
+                len: x.len(),
+                min: 2,
+            });
         }
         Ok(Summary {
             mean: mean(x)?,

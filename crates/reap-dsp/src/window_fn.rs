@@ -116,19 +116,31 @@ mod tests {
         // A tone at bin 4.5 leaks everywhere with a rectangular window;
         // Hann concentrates it.
         let n = 64;
-        let signal: Vec<f64> = (0..n).map(|i| (TAU * 4.5 * i as f64 / n as f64).sin()).collect();
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (TAU * 4.5 * i as f64 / n as f64).sin())
+            .collect();
         let rect = fft::fft_magnitudes(&signal).unwrap();
         let windowed = fft::fft_magnitudes(&hann(&signal)).unwrap();
         // Compare energy far from the tone (bins 12..) relative to peak.
-        let far = |m: &[f64]| m[12..].iter().sum::<f64>() / m.iter().cloned().fold(f64::MIN, f64::max);
-        assert!(far(&windowed) < 0.3 * far(&rect), "hann {} vs rect {}", far(&windowed), far(&rect));
+        let far =
+            |m: &[f64]| m[12..].iter().sum::<f64>() / m.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            far(&windowed) < 0.3 * far(&rect),
+            "hann {} vs rect {}",
+            far(&windowed),
+            far(&rect)
+        );
     }
 
     #[test]
     fn centroid_tracks_tone_position() {
         let n = 64;
-        let low: Vec<f64> = (0..n).map(|i| (TAU * 3.0 * i as f64 / n as f64).sin()).collect();
-        let high: Vec<f64> = (0..n).map(|i| (TAU * 20.0 * i as f64 / n as f64).sin()).collect();
+        let low: Vec<f64> = (0..n)
+            .map(|i| (TAU * 3.0 * i as f64 / n as f64).sin())
+            .collect();
+        let high: Vec<f64> = (0..n)
+            .map(|i| (TAU * 20.0 * i as f64 / n as f64).sin())
+            .collect();
         let cl = spectral_centroid(&low).unwrap();
         let ch = spectral_centroid(&high).unwrap();
         assert!((cl - 3.0).abs() < 0.5, "low centroid {cl}");
@@ -138,9 +150,13 @@ mod tests {
     #[test]
     fn entropy_separates_tone_from_noise() {
         let n = 128;
-        let tone: Vec<f64> = (0..n).map(|i| (TAU * 5.0 * i as f64 / n as f64).sin()).collect();
+        let tone: Vec<f64> = (0..n)
+            .map(|i| (TAU * 5.0 * i as f64 / n as f64).sin())
+            .collect();
         // Deterministic pseudo-noise.
-        let noise: Vec<f64> = (0..n).map(|i| ((i * 2654435761_usize) % 1000) as f64 / 500.0 - 1.0).collect();
+        let noise: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761_usize) % 1000) as f64 / 500.0 - 1.0)
+            .collect();
         let et = spectral_entropy(&tone).unwrap();
         let en = spectral_entropy(&noise).unwrap();
         assert!(et < 0.2, "tone entropy {et}");

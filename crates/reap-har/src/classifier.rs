@@ -137,9 +137,12 @@ mod tests {
 
     #[test]
     fn dp1_learns_far_better_than_chance() {
-        let classifier =
-            train_classifier(&small_dataset(), &DpConfig::paper_pareto_5()[0], &TrainConfig::fast(1))
-                .unwrap();
+        let classifier = train_classifier(
+            &small_dataset(),
+            &DpConfig::paper_pareto_5()[0],
+            &TrainConfig::fast(1),
+        )
+        .unwrap();
         assert!(
             classifier.test_accuracy > 0.6,
             "DP1 test accuracy = {}",
@@ -193,8 +196,10 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let d = small_dataset();
-        let a = train_classifier(&d, &DpConfig::paper_pareto_5()[4], &TrainConfig::fast(3)).unwrap();
-        let b = train_classifier(&d, &DpConfig::paper_pareto_5()[4], &TrainConfig::fast(3)).unwrap();
+        let a =
+            train_classifier(&d, &DpConfig::paper_pareto_5()[4], &TrainConfig::fast(3)).unwrap();
+        let b =
+            train_classifier(&d, &DpConfig::paper_pareto_5()[4], &TrainConfig::fast(3)).unwrap();
         assert_eq!(a.test_accuracy, b.test_accuracy);
         assert_eq!(a.confusion, b.confusion);
     }

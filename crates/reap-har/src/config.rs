@@ -242,11 +242,10 @@ impl DpConfig {
                 "accelerometer axes are powered but produce no features".into(),
             ));
         }
-        if self.accel_features == AccelFeatures::Off && self.stretch_features == StretchFeatures::Off
+        if self.accel_features == AccelFeatures::Off
+            && self.stretch_features == StretchFeatures::Off
         {
-            return Err(HarError::InvalidConfig(
-                "no feature source enabled".into(),
-            ));
+            return Err(HarError::InvalidConfig("no feature source enabled".into()));
         }
         Ok(())
     }
@@ -358,7 +357,13 @@ impl DpConfig {
         v.push(dp(A::Y, S::P50, F::Statistical, T::Fft16, N::Hidden12));
         v.push(dp(A::Y, S::Full, F::Dwt, T::Fft16, N::Hidden8));
         // Stretch-statistics instead of the FFT.
-        v.push(dp(A::Y, S::Full, F::Statistical, T::Statistical, N::Hidden12));
+        v.push(dp(
+            A::Y,
+            S::Full,
+            F::Statistical,
+            T::Statistical,
+            N::Hidden12,
+        ));
         v.push(dp(A::Xyz, S::Full, F::Dwt, T::Statistical, N::Hidden12));
         // Further all-axes variants (reduced sensing with a small NN, and
         // a mid-period DWT point).
@@ -392,7 +397,13 @@ mod tests {
 
     #[test]
     fn axes_counts_and_indices_agree() {
-        for axes in [AccelAxes::Xyz, AccelAxes::Xy, AccelAxes::X, AccelAxes::Y, AccelAxes::Off] {
+        for axes in [
+            AccelAxes::Xyz,
+            AccelAxes::Xy,
+            AccelAxes::X,
+            AccelAxes::Y,
+            AccelAxes::Off,
+        ] {
             assert_eq!(axes.count(), axes.indices().len());
         }
         assert_eq!(AccelAxes::Y.indices(), &[1]);

@@ -64,8 +64,11 @@ mod tests {
         assert!(e.to_string().contains("feature extraction"));
         assert!(Error::source(&e).is_some());
         assert!(HarError::EmptyTrainingSet.to_string().contains("empty"));
-        assert!(HarError::FeatureDimension { expected: 3, got: 2 }
-            .to_string()
-            .contains('3'));
+        assert!(HarError::FeatureDimension {
+            expected: 3,
+            got: 2
+        }
+        .to_string()
+        .contains('3'));
     }
 }

@@ -41,7 +41,8 @@ pub fn extract_features(config: &DpConfig, window: &ActivityWindow) -> Result<Ve
                 // The DWT needs a power-of-two length; truncate to the
                 // largest one that fits (an MCU would do the same).
                 let pow2 = prev_power_of_two(prefix.len());
-                let energies = dwt::subband_energies(&prefix[..pow2], dwt::Wavelet::Haar, DWT_LEVELS)?;
+                let energies =
+                    dwt::subband_energies(&prefix[..pow2], dwt::Wavelet::Haar, DWT_LEVELS)?;
                 features.extend_from_slice(&energies);
             }
         }
@@ -108,7 +109,10 @@ mod tests {
                 config.feature_dim(),
                 "dimension mismatch for {config}"
             );
-            assert!(f.iter().all(|v| v.is_finite()), "non-finite feature in {config}");
+            assert!(
+                f.iter().all(|v| v.is_finite()),
+                "non-finite feature in {config}"
+            );
         }
     }
 

@@ -46,8 +46,8 @@ mod design_point;
 mod error;
 mod feature_names;
 mod features;
-mod nn;
 mod louo;
+mod nn;
 mod normalize;
 mod pareto;
 mod quantized;

@@ -161,9 +161,12 @@ mod tests {
 
     #[test]
     fn louo_produces_one_fold_per_user() {
-        let result =
-            leave_one_user_out(&small_dataset(), &DpConfig::paper_pareto_5()[4], &TrainConfig::fast(17))
-                .unwrap();
+        let result = leave_one_user_out(
+            &small_dataset(),
+            &DpConfig::paper_pareto_5()[4],
+            &TrainConfig::fast(17),
+        )
+        .unwrap();
         assert_eq!(result.folds.len(), 4);
         let total: usize = result.folds.iter().map(|f| f.windows).sum();
         assert_eq!(total, 360);
@@ -196,9 +199,12 @@ mod tests {
 
     #[test]
     fn worst_fold_is_the_minimum() {
-        let result =
-            leave_one_user_out(&small_dataset(), &DpConfig::paper_pareto_5()[4], &TrainConfig::fast(3))
-                .unwrap();
+        let result = leave_one_user_out(
+            &small_dataset(),
+            &DpConfig::paper_pareto_5()[4],
+            &TrainConfig::fast(3),
+        )
+        .unwrap();
         let worst = result.worst_fold().unwrap();
         for f in &result.folds {
             assert!(worst.accuracy <= f.accuracy);

@@ -258,8 +258,7 @@ impl Mlp {
         xs: &[&Vec<f64>],
         ys: &[usize],
     ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, f64) {
-        let mut w_grads: Vec<Vec<f64>> =
-            self.weights.iter().map(|w| vec![0.0; w.len()]).collect();
+        let mut w_grads: Vec<Vec<f64>> = self.weights.iter().map(|w| vec![0.0; w.len()]).collect();
         let mut b_grads: Vec<Vec<f64>> = self.biases.iter().map(|b| vec![0.0; b.len()]).collect();
         let mut loss = 0.0;
         let batch = xs.len() as f64;
@@ -442,7 +441,11 @@ mod tests {
     fn analytic_gradients_match_numerical() {
         // Finite-difference check on a tiny network over a small batch.
         let mut net = Mlp::new(&[3, 4, 2], 7).unwrap();
-        let xs = vec![vec![0.5, -0.2, 0.8], vec![-1.0, 0.3, 0.1], vec![0.0, 1.0, -0.5]];
+        let xs = vec![
+            vec![0.5, -0.2, 0.8],
+            vec![-1.0, 0.3, 0.1],
+            vec![0.0, 1.0, -0.5],
+        ];
         let ys = vec![0usize, 1, 0];
         let refs: Vec<&Vec<f64>> = xs.iter().collect();
         let (w_grads, b_grads, _) = net.backprop_batch(&refs, &ys);

@@ -139,7 +139,10 @@ mod tests {
         let st = Standardizer::fit(&[vec![1.0, 2.0]]).unwrap();
         assert!(matches!(
             st.apply(&[1.0]),
-            Err(HarError::FeatureDimension { expected: 2, got: 1 })
+            Err(HarError::FeatureDimension {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(Standardizer::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
         assert_eq!(st.dim(), 2);

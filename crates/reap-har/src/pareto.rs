@@ -23,9 +23,10 @@ pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
     let mut front: Vec<usize> = (0..points.len())
         .filter(|&i| {
             let (ci, vi) = points[i];
-            !points.iter().enumerate().any(|(j, &(cj, vj))| {
-                j != i && cj <= ci && vj >= vi && (cj < ci || vj > vi)
-            })
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, &(cj, vj))| j != i && cj <= ci && vj >= vi && (cj < ci || vj > vi))
         })
         .collect();
     front.sort_by(|&a, &b| {

@@ -17,8 +17,12 @@ use crate::Battery;
 /// harvested during the previous hour and the battery as it stands.
 pub trait BudgetAllocator {
     /// Budget for the upcoming hour.
-    fn allocate(&mut self, hour_of_day: u32, harvested_last_hour: Energy, battery: &Battery)
-        -> Energy;
+    fn allocate(
+        &mut self,
+        hour_of_day: u32,
+        harvested_last_hour: Energy,
+        battery: &Battery,
+    ) -> Energy;
 
     /// Short policy name for reports.
     fn name(&self) -> &'static str;
@@ -165,7 +169,11 @@ impl BudgetAllocator for UniformDailyAllocator {
         if self.cursor == 0 {
             self.filled = true;
         }
-        let divisor = if self.filled { 24.0 } else { self.cursor.max(1) as f64 };
+        let divisor = if self.filled {
+            24.0
+        } else {
+            self.cursor.max(1) as f64
+        };
         let daily: f64 = self.window.iter().sum();
         let per_hour = daily / divisor;
         let target = battery.capacity() * 0.5;

@@ -22,8 +22,13 @@ impl Battery {
     /// of low-power operation.
     #[must_use]
     pub fn small_wearable() -> Battery {
-        Battery::new(Energy::from_joules(60.0), Energy::from_joules(30.0), 0.95, 0.95)
-            .expect("constants are valid")
+        Battery::new(
+            Energy::from_joules(60.0),
+            Energy::from_joules(30.0),
+            0.95,
+            0.95,
+        )
+        .expect("constants are valid")
     }
 
     /// Creates a battery.
@@ -44,10 +49,7 @@ impl Battery {
                 "capacity {capacity} must be positive"
             )));
         }
-        if !initial_level.is_finite()
-            || initial_level.is_negative()
-            || initial_level > capacity
-        {
+        if !initial_level.is_finite() || initial_level.is_negative() || initial_level > capacity {
             return Err(HarvestError::InvalidParameter(format!(
                 "initial level {initial_level} outside [0, {capacity}]"
             )));

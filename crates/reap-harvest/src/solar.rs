@@ -49,10 +49,8 @@ impl SolarModel {
     #[must_use]
     pub fn sin_elevation(&self, day_of_year: u32, hour: f64) -> f64 {
         // Cooper's declination formula.
-        let declination =
-            (23.45f64).to_radians() * (2.0 * std::f64::consts::PI * (284 + day_of_year) as f64
-                / 365.0)
-                .sin();
+        let declination = (23.45f64).to_radians()
+            * (2.0 * std::f64::consts::PI * (284 + day_of_year) as f64 / 365.0).sin();
         let hour_angle = (15.0 * (hour - 12.0)).to_radians();
         self.latitude_rad.sin() * declination.sin()
             + self.latitude_rad.cos() * declination.cos() * hour_angle.cos()
@@ -263,8 +261,9 @@ mod tests {
                 *counts.entry(c).or_insert(0usize) += 1;
             }
         }
-        let mean = |c: SkyCondition| sums.get(&c).copied().unwrap_or(0.0)
-            / counts.get(&c).copied().unwrap_or(1) as f64;
+        let mean = |c: SkyCondition| {
+            sums.get(&c).copied().unwrap_or(0.0) / counts.get(&c).copied().unwrap_or(1) as f64
+        };
         if counts.contains_key(&SkyCondition::Clear) && counts.contains_key(&SkyCondition::Overcast)
         {
             assert!(mean(SkyCondition::Clear) > mean(SkyCondition::Overcast));

@@ -138,10 +138,7 @@ impl HarvestTrace {
     /// Largest single-hour harvest.
     #[must_use]
     pub fn peak(&self) -> Energy {
-        self.hourly
-            .iter()
-            .copied()
-            .fold(Energy::ZERO, Energy::max)
+        self.hourly.iter().copied().fold(Energy::ZERO, Energy::max)
     }
 
     /// Mean harvest per hour-of-day slot across all days: the diurnal
@@ -161,10 +158,7 @@ impl HarvestTrace {
     /// more than idle.
     #[must_use]
     pub fn useful_hours(&self) -> usize {
-        self.hourly
-            .iter()
-            .filter(|e| e.joules() > 0.18)
-            .count()
+        self.hourly.iter().filter(|e| e.joules() > 0.18).count()
     }
 
     /// Serializes as `day,hour,joules` CSV lines (with header).
@@ -247,8 +241,14 @@ mod tests {
 
     #[test]
     fn trace_is_deterministic_per_seed() {
-        assert_eq!(HarvestTrace::september_like(7), HarvestTrace::september_like(7));
-        assert_ne!(HarvestTrace::september_like(7), HarvestTrace::september_like(8));
+        assert_eq!(
+            HarvestTrace::september_like(7),
+            HarvestTrace::september_like(7)
+        );
+        assert_ne!(
+            HarvestTrace::september_like(7),
+            HarvestTrace::september_like(8)
+        );
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use reap_harvest::{
-    Battery, BudgetAllocator, EwmaAllocator, GreedyAllocator, HarvestTrace, SolarModel,
-    SolarPanel, UniformDailyAllocator, WeatherModel,
+    Battery, BudgetAllocator, EwmaAllocator, GreedyAllocator, HarvestTrace, SolarModel, SolarPanel,
+    UniformDailyAllocator, WeatherModel,
 };
 use reap_units::Energy;
 

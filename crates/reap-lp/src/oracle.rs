@@ -39,8 +39,8 @@ fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>, tol: f64) -> Option<Vec<f6
     let n = b.len();
     for col in 0..n {
         // Partial pivot.
-        let pivot_row = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
+        let pivot_row =
+            (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
         if a[pivot_row][col].abs() <= tol {
             return None;
         }

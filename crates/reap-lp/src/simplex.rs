@@ -256,14 +256,8 @@ pub(crate) fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpS
         })
         .collect();
 
-    let n_slack = norm
-        .iter()
-        .filter(|r| r.relation != Relation::Eq)
-        .count();
-    let n_art = norm
-        .iter()
-        .filter(|r| r.relation != Relation::Le)
-        .count();
+    let n_slack = norm.iter().filter(|r| r.relation != Relation::Eq).count();
+    let n_art = norm.iter().filter(|r| r.relation != Relation::Le).count();
     let artificial_start = n + n_slack;
     let n_total = n + n_slack + n_art;
 
@@ -326,8 +320,8 @@ pub(crate) fn solve(problem: &LpProblem, options: &SimplexOptions) -> Result<LpS
         // which is harmless because artificial columns are banned below.
         for i in 0..tab.rows.len() {
             if tab.basis[i] >= artificial_start {
-                let pivot_col = (0..artificial_start)
-                    .find(|&j| tab.rows[i][j].abs() > options.tol.max(1e-8));
+                let pivot_col =
+                    (0..artificial_start).find(|&j| tab.rows[i][j].abs() > options.tol.max(1e-8));
                 if let Some(q) = pivot_col {
                     tab.pivot(i, q);
                     iterations += 1;
@@ -457,7 +451,8 @@ mod tests {
             .unwrap();
         p.subject_to(&[0.5, -90.0, -0.02, 3.0], Relation::Le, 0.0)
             .unwrap();
-        p.subject_to(&[0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0).unwrap();
+        p.subject_to(&[0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0)
+            .unwrap();
         let s = p.solve().unwrap();
         assert_eq!(s.status(), LpStatus::Optimal);
         assert_close(s.objective(), 0.05);
@@ -517,8 +512,12 @@ mod tests {
         let mut p = LpProblem::maximize(&obj);
         p.subject_to(&[1.0, 1.0, 1.0, 1.0, 1.0, 1.0], Relation::Eq, tp)
             .unwrap();
-        p.subject_to(&[pw[0], pw[1], pw[2], pw[3], pw[4], p_off], Relation::Le, 5000.0)
-            .unwrap();
+        p.subject_to(
+            &[pw[0], pw[1], pw[2], pw[3], pw[4], p_off],
+            Relation::Le,
+            5000.0,
+        )
+        .unwrap();
         let s = p.solve().unwrap();
         assert_eq!(s.status(), LpStatus::Optimal);
         let t4 = s.values()[3] / tp;
@@ -536,7 +535,8 @@ mod tests {
     fn solution_is_feasible_for_original_problem() {
         let mut p = LpProblem::maximize(&[1.0, 4.0, 2.0]);
         p.subject_to(&[5.0, 2.0, 2.0], Relation::Le, 145.0).unwrap();
-        p.subject_to(&[4.0, 8.0, -8.0], Relation::Le, 260.0).unwrap();
+        p.subject_to(&[4.0, 8.0, -8.0], Relation::Le, 260.0)
+            .unwrap();
         p.subject_to(&[1.0, 1.0, 4.0], Relation::Le, 190.0).unwrap();
         let s = p.solve().unwrap();
         assert!(s.is_optimal());

@@ -153,7 +153,9 @@ mod tests {
 
     #[test]
     fn display_is_never_empty() {
-        assert!(!LpSolution::optimal(1.0, vec![1.0], 1).to_string().is_empty());
+        assert!(!LpSolution::optimal(1.0, vec![1.0], 1)
+            .to_string()
+            .is_empty());
         assert!(LpSolution::infeasible(0).to_string().contains("infeasible"));
         assert!(LpSolution::unbounded(0).to_string().contains("unbounded"));
         assert_eq!(LpStatus::Optimal.to_string(), "optimal");

@@ -63,6 +63,8 @@ mod tests {
         assert!(Error::source(&e).is_some());
         let h = SimError::from(HarvestError::Parse("x".into()));
         assert!(Error::source(&h).is_some());
-        assert!(SimError::InvalidParameter("p".into()).to_string().contains('p'));
+        assert!(SimError::InvalidParameter("p".into())
+            .to_string()
+            .contains('p'));
     }
 }

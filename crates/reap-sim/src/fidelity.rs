@@ -12,9 +12,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use reap_core::Schedule;
 use reap_data::{ActivityWindow, UserProfile};
 use reap_har::{HarError, TrainedClassifier};
-use reap_core::Schedule;
 
 use crate::ActivityStream;
 
@@ -188,14 +188,7 @@ mod tests {
         let s = schedule(0.9, 0.7);
         let profile = UserProfile::generate(1, 21);
         let mut stream = ActivityStream::new(1);
-        let err = execute_schedule(
-            &s,
-            &[(1, &dp1), (5, &dp5)],
-            &profile,
-            &mut stream,
-            0,
-            0,
-        );
+        let err = execute_schedule(&s, &[(1, &dp1), (5, &dp5)], &profile, &mut stream, 0, 0);
         assert!(matches!(err, Err(HarError::InvalidConfig(_))));
     }
 

@@ -118,13 +118,20 @@ impl SimReport {
         if self.hours.is_empty() {
             return 0.0;
         }
-        self.hours.iter().map(HourRecord::realized_accuracy).sum::<f64>() / self.hours.len() as f64
+        self.hours
+            .iter()
+            .map(HourRecord::realized_accuracy)
+            .sum::<f64>()
+            / self.hours.len() as f64
     }
 
     /// Total realized active time.
     #[must_use]
     pub fn total_active_time(&self) -> TimeSpan {
-        self.hours.iter().map(HourRecord::realized_active_time).sum()
+        self.hours
+            .iter()
+            .map(HourRecord::realized_active_time)
+            .sum()
     }
 
     /// Hours in which the plan browned out.

@@ -1,8 +1,9 @@
 //! Scenario configuration.
 
 use reap_core::{OperatingPoint, ReapProblem};
-use reap_harvest::{Battery, BudgetAllocator, EwmaAllocator, GreedyAllocator, HarvestTrace,
-    UniformDailyAllocator};
+use reap_harvest::{
+    Battery, BudgetAllocator, EwmaAllocator, GreedyAllocator, HarvestTrace, UniformDailyAllocator,
+};
 use reap_units::Power;
 
 use crate::engine::{self, Policy};

@@ -217,10 +217,7 @@ mod tests {
 
     #[test]
     fn sum_of_powers() {
-        let total: Power = [1.0, 2.0, 3.0]
-            .iter()
-            .map(|&w| Power::from_watts(w))
-            .sum();
+        let total: Power = [1.0, 2.0, 3.0].iter().map(|&w| Power::from_watts(w)).sum();
         assert_eq!(total.watts(), 6.0);
     }
 

@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{h:>5} {:>8.2}J {:>22} {:>9.1}% {:>9.1}J",
             forecast[h].joules(),
-            if mix.is_empty() { "off".to_string() } else { mix.join(" ") },
+            if mix.is_empty() {
+                "off".to_string()
+            } else {
+                mix.join(" ")
+            },
             schedule.expected_accuracy() * 100.0,
             plan.battery_trajectory[h].joules(),
         );
@@ -57,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|&e| {
             let budget = e.max(problem.min_budget());
             if e >= problem.min_budget() {
-                problem.solve(budget).map(|s| s.objective(1.0)).unwrap_or(0.0)
+                problem
+                    .solve(budget)
+                    .map(|s| s.objective(1.0))
+                    .unwrap_or(0.0)
             } else {
                 0.0
             }

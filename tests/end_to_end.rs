@@ -81,7 +81,10 @@ fn pipeline_from_waveforms_to_schedule() {
         "realized {realized} fell below expected {}",
         schedule.expected_accuracy()
     );
-    assert!(realized > 0.5, "realized accuracy {realized} implausibly low");
+    assert!(
+        realized > 0.5,
+        "realized accuracy {realized} implausibly low"
+    );
 }
 
 /// The trained five-point set yields a valid problem whose solution

@@ -76,7 +76,11 @@ fn alpha2_dp4_dominates_below_6j_and_dp3_crosses_at_6_5j() {
         let stat = static_schedule(&p, id, Energy::from_joules(j)).expect("solvable");
         stat.objective(2.0) / reap.objective(2.0)
     };
-    assert!((at(6.5, 3) - 1.0).abs() < 0.02, "DP3/REAP at 6.5 J = {}", at(6.5, 3));
+    assert!(
+        (at(6.5, 3) - 1.0).abs() < 0.02,
+        "DP3/REAP at 6.5 J = {}",
+        at(6.5, 3)
+    );
     assert!(at(8.5, 3) < 0.99, "DP3/REAP at 8.5 J = {}", at(8.5, 3));
     // Beyond 9.9 J REAP reduces to DP1.
     assert!((at(10.0, 1) - 1.0).abs() < 1e-6);
@@ -87,7 +91,9 @@ fn reap_matches_or_beats_every_static_point_across_the_sweep() {
     // The paper's core claim, for both alpha regimes it evaluates.
     for alpha in [1.0, 2.0] {
         let p = paper_problem(alpha);
-        for j in [0.18, 0.5, 1.0, 2.0, 3.0, 4.32, 5.0, 6.0, 7.0, 8.0, 9.0, 9.94, 11.0] {
+        for j in [
+            0.18, 0.5, 1.0, 2.0, 3.0, 4.32, 5.0, 6.0, 7.0, 8.0, 9.0, 9.94, 11.0,
+        ] {
             let budget = Energy::from_joules(j);
             let reap = p.solve(budget).expect("solvable");
             for point in p.points() {
@@ -133,7 +139,10 @@ fn solver_is_fast_enough_for_runtime_use() {
                 .expect("valid")
             })
             .collect();
-        let p = ReapProblem::builder().points(points).build().expect("valid");
+        let p = ReapProblem::builder()
+            .points(points)
+            .build()
+            .expect("valid");
         let start = std::time::Instant::now();
         for _ in 0..50 {
             let _ = p.solve(Energy::from_joules(5.0)).expect("solvable");

@@ -1,0 +1,63 @@
+//! Build-system smoke tests: every committed example must keep running.
+//!
+//! `cargo test` compiles all examples before running integration tests, so
+//! the binaries are guaranteed to exist next to this test's own binary
+//! (`target/<profile>/examples/`). Executing them here makes example rot a
+//! tier-1 failure instead of something only discovered by readers of the
+//! README.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The six examples wired up in the root `Cargo.toml`.
+const EXAMPLES: [&str; 6] = [
+    "quickstart",
+    "har_pipeline",
+    "alpha_tradeoff",
+    "horizon_planning",
+    "runtime_adaptation",
+    "solar_month",
+];
+
+/// `target/<profile>/examples`, derived from this test binary's own path
+/// (`target/<profile>/deps/workspace_smoke-<hash>`).
+fn examples_dir() -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test binary path");
+    dir.pop(); // <hash> binary
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    dir.join("examples")
+}
+
+#[test]
+fn every_example_builds_and_exits_zero() {
+    let dir = examples_dir();
+    let mut failures = Vec::new();
+    for name in EXAMPLES {
+        let binary = dir.join(name);
+        assert!(
+            binary.exists(),
+            "example binary {} missing — was it removed from Cargo.toml?",
+            binary.display()
+        );
+        let output = Command::new(&binary)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+        if !output.status.success() {
+            failures.push(format!(
+                "{name}: exit {:?}\n--- stderr ---\n{}",
+                output.status.code(),
+                String::from_utf8_lossy(&output.stderr)
+            ));
+        } else if output.stdout.is_empty() {
+            failures.push(format!("{name}: printed nothing on stdout"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} example(s) failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

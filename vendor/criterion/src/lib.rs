@@ -1,0 +1,224 @@
+//! Offline workspace shim for the subset of the `criterion` 0.5 API that
+//! the REAP benches use: [`Criterion`], [`BenchmarkId`], benchmark groups
+//! with `sample_size` / `bench_function` / `bench_with_input`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing model: each benchmark is warmed up briefly, then timed in
+//! batches until ~60 ms of measurement has accumulated; the per-iteration
+//! mean and min are printed. No statistical analysis, plots, or HTML
+//! reports — just honest wall-clock numbers suitable for spotting
+//! order-of-magnitude regressions in CI logs.
+//!
+//! [`criterion_group!`]: macro.criterion_group.html
+//! [`criterion_main!`]: macro.criterion_main.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target accumulated measurement time per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(60);
+/// Warmup budget per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(10);
+
+/// Entry point handed to benchmark functions by [`criterion_group!`].
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().label, &mut routine);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this shim sizes runs by wall-clock
+    /// budget instead of sample counts.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&label, &mut routine);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(&label, &mut |bencher: &mut Bencher| routine(bencher, input));
+        self
+    }
+
+    /// Finish the group (a no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Times closures handed to it by a benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iterations: u64,
+    min: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            total: Duration::ZERO,
+            iterations: 0,
+            min: Duration::MAX,
+        }
+    }
+
+    /// Measure `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: also estimates per-iteration cost to pick a batch size
+        // large enough that Instant overhead stays negligible.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < WARMUP_BUDGET {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / u128::from(warmup_iters.max(1));
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 10_000) as u64;
+
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE_BUDGET {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = batch_start.elapsed();
+            self.total += elapsed;
+            self.iterations += batch;
+            let per = elapsed / u32::try_from(batch).unwrap_or(u32::MAX);
+            if per < self.min {
+                self.min = per;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, routine: &mut F) {
+    let mut bencher = Bencher::new();
+    routine(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("{label:<44} (no iterations)");
+        return;
+    }
+    let mean = bencher.total.as_nanos() / u128::from(bencher.iterations);
+    println!(
+        "{label:<44} mean {:>12} min {:>12} ({} iters)",
+        format_ns(mean),
+        format_ns(bencher.min.as_nanos()),
+        bencher.iterations
+    );
+}
+
+fn format_ns(nanos: u128) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Define a benchmark group function `$name` that runs each target with a
+/// fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `fn main()` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags like `--bench`; this shim
+            // runs everything unconditionally and ignores them.
+            $($group();)+
+        }
+    };
+}

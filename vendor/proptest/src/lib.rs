@@ -1,0 +1,156 @@
+//! Offline workspace shim for the subset of the `proptest` 1.x API that the
+//! REAP property tests use: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map` / `prop_flat_map` / `prop_filter` / `prop_filter_map`, range
+//! and tuple strategies, [`Just`], [`prop_oneof!`], [`collection::vec`],
+//! [`sample::select`], and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberate for an offline shim:
+//! - **No shrinking**: a failing case reports its values via the assertion
+//!   message but is not minimized.
+//! - **Deterministic**: each test derives its RNG stream from the test
+//!   name, so failures reproduce exactly across runs.
+//!
+//! [`proptest!`]: macro.proptest.html
+//! [`prop_oneof!`]: macro.prop_oneof.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod runner;
+pub mod sample;
+pub mod strategy;
+
+/// The types and macros most property tests need, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate::runner::ProptestConfig;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert a condition inside a property test; on failure the test panics
+/// with the condition (and any formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Assert two values are equal (requires `PartialEq + Debug`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "prop_assert_eq failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+/// Assert two values are not equal (requires `PartialEq + Debug`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!(
+                "prop_assert_ne failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!($($fmt)+);
+        }
+    }};
+}
+
+/// Discard the current test case (it does not count toward the case total)
+/// if the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            $crate::runner::mark_rejected();
+            return;
+        }
+    };
+}
+
+/// Choose uniformly between several strategies producing the same value
+/// type. Only the unweighted form is supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over many sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::runner::run_cases($config, stringify!($name), |__reap_rng| {
+                $(
+                    let $pat = match $crate::strategy::sample_for_case(&($strategy), __reap_rng) {
+                        ::core::option::Option::Some(value) => value,
+                        ::core::option::Option::None => {
+                            $crate::runner::mark_rejected();
+                            return;
+                        }
+                    };
+                )+
+                $body
+            });
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}

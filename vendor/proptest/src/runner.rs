@@ -1,0 +1,114 @@
+//! Case runner: drives each property over many deterministically seeded
+//! inputs and tracks `prop_assume!` rejections.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::cell::Cell;
+
+/// How many random cases each property runs, mirroring
+/// `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+thread_local! {
+    static REJECTED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Mark the current case as rejected (`prop_assume!` failed or a filter
+/// strategy could not produce a value). The case will not count toward the
+/// configured total.
+pub fn mark_rejected() {
+    REJECTED.with(|flag| flag.set(true));
+}
+
+fn take_rejected() -> bool {
+    REJECTED.with(|flag| flag.replace(false))
+}
+
+/// Deterministic per-test random source handed to strategies.
+///
+/// Wraps the workspace `rand` shim's [`StdRng`], seeded from the test
+/// name, so each property gets an independent, reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn for_case(test_name: &str, case_index: u64) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash ^ case_index.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// Uniform index in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "TestRng::index: empty range");
+        self.inner.gen_range(0..bound)
+    }
+}
+
+/// Run `case` until `config.cases` non-rejected executions have completed.
+///
+/// A panic inside `case` (e.g. from `prop_assert!`) propagates and fails
+/// the surrounding `#[test]`. Rejections (via [`mark_rejected`]) are
+/// retried with fresh inputs, up to a generous cap.
+pub fn run_cases(config: ProptestConfig, test_name: &str, case: impl Fn(&mut TestRng)) {
+    let max_rejections = config.cases.saturating_mul(32).max(4096);
+    let mut completed: u32 = 0;
+    let mut rejections: u32 = 0;
+    let mut stream: u64 = 0;
+    take_rejected(); // Clear any leftover flag from a prior test on this thread.
+    while completed < config.cases {
+        let mut rng = TestRng::for_case(test_name, stream);
+        stream += 1;
+        case(&mut rng);
+        if take_rejected() {
+            rejections += 1;
+            assert!(
+                rejections <= max_rejections,
+                "proptest shim: `{test_name}` rejected {rejections} cases \
+                 (completed {completed}/{} before giving up); \
+                 the strategy or prop_assume! filter is too strict",
+                config.cases
+            );
+        } else {
+            completed += 1;
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Sampling strategies over explicit value sets (`proptest::sample::select`).
+
+use crate::runner::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy choosing uniformly from the given values.
+///
+/// # Panics
+/// Panics (on first sample) if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        Some(self.options[rng.index(self.options.len())].clone())
+    }
+}

@@ -1,0 +1,285 @@
+//! The [`Strategy`] trait and its combinators: how property tests describe
+//! the space of inputs to sample from.
+
+use crate::runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of an associated type.
+///
+/// Unlike real proptest there is no value tree / shrinking: `sample`
+/// either produces a value or rejects (`None`, e.g. a filter failed), and
+/// rejected draws are retried by the runner.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draw one value, or `None` if this particular draw was rejected.
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Transform every generated value with `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, map }
+    }
+
+    /// Generate an intermediate value, then sample from the strategy it
+    /// maps to.
+    fn prop_flat_map<S, F>(self, map: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, map }
+    }
+
+    /// Keep only values satisfying `predicate`. `_whence` labels the
+    /// filter in diagnostics (unused by this shim).
+    fn prop_filter<F>(self, _whence: &'static str, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            predicate,
+        }
+    }
+
+    /// Map values through a fallible transform, rejecting draws where it
+    /// returns `None`.
+    fn prop_filter_map<O, F>(self, _whence: &'static str, map: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { base: self, map }
+    }
+
+    /// Erase the concrete strategy type (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        (**self).sample(rng)
+    }
+}
+
+/// Sample with retries; `None` means the strategy kept rejecting and the
+/// whole test case should be discarded. Used by the [`crate::proptest!`]
+/// macro expansion.
+pub fn sample_for_case<S: Strategy>(strategy: &S, rng: &mut TestRng) -> Option<S::Value> {
+    const MAX_LOCAL_REJECTS: u32 = 64;
+    for _ in 0..MAX_LOCAL_REJECTS {
+        if let Some(value) = strategy.sample(rng) {
+            return Some(value);
+        }
+    }
+    None
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    map: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.base.sample(rng).map(&self.map)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    base: S,
+    map: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let intermediate = self.base.sample(rng)?;
+        (self.map)(intermediate).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    base: S,
+    predicate: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.base
+            .sample(rng)
+            .filter(|value| (self.predicate)(value))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    base: S,
+    map: F,
+}
+
+impl<S, F, O> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.base.sample(rng).and_then(&self.map)
+    }
+}
+
+/// Uniform choice between type-erased strategies; built by
+/// [`crate::prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build a union over `arms`.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        let arm = rng.index(self.arms.len());
+        self.arms[arm].sample(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                Some((self.start as i128 + offset as i128) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "strategy range is empty");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                Some((start as i128 + offset as i128) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "strategy range is empty");
+                let unit = rng.unit_f64() as $t;
+                let value = self.start + unit * (self.end - self.start);
+                // Rounding can land exactly on `end`; redraw via rejection.
+                if value < self.end { Some(value) } else { None }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "strategy range is empty");
+                let unit = rng.unit_f64() as $t;
+                Some(start + unit * (end - start))
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.sample(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
