@@ -5,40 +5,30 @@
 //! this reproduction adds) and Bland's pivot rule.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use reap_core::{OperatingPoint, ReapProblem};
-use reap_units::{Energy, Power};
+use reap_bench::synthetic_problem;
+use reap_units::Energy;
 use std::hint::black_box;
-
-fn problem_with_n(n: usize) -> ReapProblem {
-    let points: Vec<OperatingPoint> = (0..n)
-        .map(|i| {
-            let frac = i as f64 / n as f64;
-            OperatingPoint::new(
-                i as u8 + 1,
-                format!("P{i}"),
-                0.5 + 0.45 * frac,
-                Power::from_milliwatts(1.0 + 2.0 * frac),
-            )
-            .expect("valid point")
-        })
-        .collect();
-    ReapProblem::builder()
-        .points(points)
-        .build()
-        .expect("valid problem")
-}
 
 fn bench_simplex_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("simplex_scaling");
     group.sample_size(30);
     let budget = Energy::from_joules(5.0);
     for n in [5usize, 10, 25, 50, 100] {
-        let problem = problem_with_n(n);
+        let problem = synthetic_problem(n);
         group.bench_with_input(BenchmarkId::new("simplex", n), &problem, |b, p| {
             b.iter(|| black_box(p.solve(black_box(budget)).expect("solvable")));
         });
         group.bench_with_input(BenchmarkId::new("closed_form", n), &problem, |b, p| {
             b.iter(|| black_box(p.solve_closed_form(black_box(budget)).expect("solvable")));
+        });
+        // The cached-frontier path the runtime controller and sweeps use:
+        // build once, then O(log K) per solve.
+        let frontier = problem.frontier();
+        group.bench_with_input(BenchmarkId::new("frontier", n), &frontier, |b, f| {
+            b.iter(|| black_box(f.solve(black_box(budget)).expect("solvable")));
+        });
+        group.bench_with_input(BenchmarkId::new("frontier_build", n), &problem, |b, p| {
+            b.iter(|| black_box(p.frontier()));
         });
     }
     group.finish();
@@ -49,7 +39,7 @@ fn bench_budget_regimes(c: &mut Criterion) {
     // mixed (two points), saturated (time-limited).
     let mut group = c.benchmark_group("simplex_budget_regimes");
     group.sample_size(30);
-    let problem = problem_with_n(5);
+    let problem = synthetic_problem(5);
     for (label, joules) in [("starved", 0.5), ("mixed", 5.0), ("saturated", 12.0)] {
         group.bench_function(label, |b| {
             let budget = Energy::from_joules(joules);
@@ -66,7 +56,7 @@ fn bench_horizon_planning(c: &mut Criterion) {
     use reap_core::plan_horizon;
     let mut group = c.benchmark_group("horizon_planning");
     group.sample_size(20);
-    let problem = problem_with_n(5);
+    let problem = synthetic_problem(5);
     // A day/night forecast.
     let forecast: Vec<Energy> = (0..24)
         .map(|h| {

@@ -11,7 +11,7 @@
 use reap_bench::{row, rule};
 use reap_core::plan_horizon;
 use reap_harvest::{Battery, HarvestTrace};
-use reap_sim::{AllocatorKind, BudgetMode, Policy, Scenario};
+use reap_sim::{run_matrix, AllocatorKind, BudgetMode, Policy, Scenario};
 use reap_units::Energy;
 
 fn main() {
@@ -38,34 +38,43 @@ fn main() {
     );
     println!("{}", rule(&widths));
 
+    // All six (allocator, mode) scenarios execute in one parallel matrix.
+    let mut labels = Vec::new();
+    let mut scenarios = Vec::new();
     for allocator in [
         AllocatorKind::Ewma,
         AllocatorKind::Greedy,
         AllocatorKind::UniformDaily,
     ] {
         for mode in [BudgetMode::OpenLoop, BudgetMode::ClosedLoop] {
-            let scenario = Scenario::builder(trace.clone())
-                .points(points.clone())
-                .allocator(allocator)
-                .budget_mode(mode)
-                .build()
-                .expect("valid scenario");
-            let report = scenario.run(Policy::Reap).expect("runs");
-            println!(
-                "{}",
-                row(
-                    &[
-                        format!("{allocator:?}"),
-                        format!("{mode:?}"),
-                        format!("{:.1}", report.total_objective(1.0)),
-                        format!("{:.1}%", report.mean_accuracy() * 100.0),
-                        format!("{:.1}", report.total_active_time().hours()),
-                        format!("{}", report.brownout_hours()),
-                    ],
-                    &widths
-                )
+            labels.push((allocator, mode));
+            scenarios.push(
+                Scenario::builder(trace.clone())
+                    .points(points.clone())
+                    .allocator(allocator)
+                    .budget_mode(mode)
+                    .build()
+                    .expect("valid scenario"),
             );
         }
+    }
+    let matrix = run_matrix(&scenarios, &[Policy::Reap]).expect("runs");
+    for ((allocator, mode), reports) in labels.into_iter().zip(&matrix) {
+        let report = &reports[0];
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{allocator:?}"),
+                    format!("{mode:?}"),
+                    format!("{:.1}", report.total_objective(1.0)),
+                    format!("{:.1}%", report.mean_accuracy() * 100.0),
+                    format!("{:.1}", report.total_active_time().hours()),
+                    format!("{}", report.brownout_hours()),
+                ],
+                &widths
+            )
+        );
     }
 
     // Perfect-forecast lookahead: the upper bound on what ANY allocation

@@ -1,0 +1,117 @@
+//! Planner perf baseline: per-solve timings for the three REAP solvers
+//! and wall time for month-long simulations, written as machine-readable
+//! JSON (`BENCH_planner.json`) so CI tracks the perf trajectory.
+//!
+//! ```text
+//! cargo run --release -p reap-bench --bin bench_planner [-- <output.json>]
+//! ```
+//!
+//! The committed `BENCH_planner.json` at the repo root is the baseline
+//! recorded when the frontier planner landed; regenerate it with the
+//! command above after any solver or sim-engine change.
+
+use criterion::{measure, Measurement};
+use reap_bench::{synthetic_problem, CharMode};
+use reap_harvest::HarvestTrace;
+use reap_sim::{run_matrix, Policy, Scenario};
+use reap_units::Energy;
+use std::hint::black_box;
+
+struct SolverRow {
+    n: usize,
+    simplex: Measurement,
+    closed_form: Measurement,
+    frontier: Measurement,
+    frontier_build: Measurement,
+}
+
+fn main() {
+    // First non-flag argument is the output path (the shared bin flags
+    // like `--quick` are ignored here: the measurement is already fast).
+    let out_path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_planner.json".to_string());
+    let budget = Energy::from_joules(5.0);
+
+    println!("planner perf baseline (release, {out_path})");
+    println!("===========================================");
+
+    let mut rows = Vec::new();
+    for n in [5usize, 20, 100] {
+        let problem = synthetic_problem(n);
+        let frontier = problem.frontier();
+        let row = SolverRow {
+            n,
+            simplex: measure(format!("simplex/{n}"), || {
+                black_box(problem.solve(black_box(budget)).expect("solvable"))
+            }),
+            closed_form: measure(format!("closed_form/{n}"), || {
+                black_box(
+                    problem
+                        .solve_closed_form(black_box(budget))
+                        .expect("solvable"),
+                )
+            }),
+            frontier: measure(format!("frontier/{n}"), || {
+                black_box(frontier.solve(black_box(budget)).expect("solvable"))
+            }),
+            frontier_build: measure(format!("frontier_build/{n}"), || {
+                black_box(problem.frontier())
+            }),
+        };
+        println!(
+            "N = {:>3}: simplex {:>9.1} ns  closed-form {:>9.1} ns  frontier {:>7.1} ns  (build {:>8.1} ns)",
+            n, row.simplex.mean_ns, row.closed_form.mean_ns, row.frontier.mean_ns,
+            row.frontier_build.mean_ns
+        );
+        rows.push(row);
+    }
+
+    let speedup_n5 = rows[0].simplex.mean_ns / rows[0].frontier.mean_ns.max(1e-9);
+    println!("frontier speedup over simplex at N = 5: {speedup_n5:.0}x");
+
+    // Month-long simulation wall time: one September trace, REAP alone
+    // (sequential engine) and the full REAP + 5-statics policy matrix
+    // (parallel executor, shared open-loop budgets).
+    let scenario = Scenario::builder(HarvestTrace::september_like(reap_bench::BENCH_SEED))
+        .points(reap_bench::operating_points(CharMode::Paper, true))
+        .build()
+        .expect("valid scenario");
+    let hours = scenario.trace().len_hours();
+    let start = std::time::Instant::now();
+    let reap_report = scenario.run(Policy::Reap).expect("runs");
+    let reap_run_ms = start.elapsed().as_secs_f64() * 1e3;
+    let policies: Vec<Policy> = std::iter::once(Policy::Reap)
+        .chain((1u8..=5).map(Policy::Static))
+        .collect();
+    let start = std::time::Instant::now();
+    let matrix = run_matrix(std::slice::from_ref(&scenario), &policies).expect("runs");
+    let matrix_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(matrix[0][0], reap_report, "matrix must match sequential");
+    let n_policies = policies.len();
+    println!(
+        "month sim ({hours} h): REAP run {reap_run_ms:.1} ms, {n_policies}-policy matrix {matrix_ms:.1} ms"
+    );
+
+    let mut json = String::from(
+        "{\n  \"schema\": \"reap-bench/planner-v1\",\n  \"budget_j\": 5.0,\n  \"solvers\": [\n",
+    );
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"simplex_ns\": {:.1}, \"closed_form_ns\": {:.1}, \"frontier_ns\": {:.1}, \"frontier_build_ns\": {:.1}}}{}\n",
+            row.n,
+            row.simplex.mean_ns,
+            row.closed_form.mean_ns,
+            row.frontier.mean_ns,
+            row.frontier_build.mean_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"frontier_speedup_n5\": {speedup_n5:.1},\n  \"month_sim\": {{\"hours\": {hours}, \"reap_run_ms\": {reap_run_ms:.1}, \"matrix_policies\": {}, \"matrix_ms\": {matrix_ms:.1}}}\n}}\n",
+        policies.len()
+    ));
+    std::fs::write(&out_path, json).expect("writable output path");
+    println!("wrote {out_path}");
+}

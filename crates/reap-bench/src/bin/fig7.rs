@@ -8,7 +8,7 @@
 
 use reap_bench::{operating_points, parse_char_mode, row, rule};
 use reap_harvest::HarvestTrace;
-use reap_sim::{BudgetMode, Policy, Scenario};
+use reap_sim::{run_matrix, BudgetMode, Policy, Scenario};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,18 +51,29 @@ fn main() {
     );
     println!("{}", rule(&widths));
 
-    for &alpha in &alphas {
-        let scenario = Scenario::builder(trace.clone())
-            .points(points.clone())
-            .alpha(alpha)
-            .budget_mode(budget_mode)
-            .build()
-            .expect("valid scenario");
-        let reap = scenario.run(Policy::Reap).expect("sim runs");
+    // One scenario per alpha; the 5 x 4 (scenario, policy) matrix runs in
+    // parallel with each scenario's open-loop budgets computed once.
+    let scenarios: Vec<Scenario> = alphas
+        .iter()
+        .map(|&alpha| {
+            Scenario::builder(trace.clone())
+                .points(points.clone())
+                .alpha(alpha)
+                .budget_mode(budget_mode)
+                .build()
+                .expect("valid scenario")
+        })
+        .collect();
+    let policies: Vec<Policy> = std::iter::once(Policy::Reap)
+        .chain(baselines.iter().map(|&(_, id)| Policy::Static(id)))
+        .collect();
+    let matrix = run_matrix(&scenarios, &policies).expect("sim runs");
+
+    for (&alpha, reports) in alphas.iter().zip(&matrix) {
+        let (reap, stats) = (&reports[0], &reports[1..]);
         let mut cells = vec![format!("{alpha}")];
-        for &(_, id) in &baselines {
-            let stat = scenario.run(Policy::Static(id)).expect("sim runs");
-            match reap.normalized_daily(&stat, alpha) {
+        for stat in stats {
+            match reap.normalized_daily(stat, alpha) {
                 Some((min, mean, max)) => {
                     cells.push(format!("{min:.2} / {mean:.2} / {max:.2}"));
                 }

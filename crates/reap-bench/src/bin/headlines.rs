@@ -72,8 +72,8 @@ fn main() {
         .collect();
         let mut gain = Vec::new();
         let mut time_loss = Vec::new();
-        for b in budgets {
-            let reap = problem.solve(b).expect("solvable");
+        let reaps = problem.solve_many(&budgets).expect("solvable");
+        for (b, reap) in budgets.into_iter().zip(reaps) {
             let stat = static_schedule(&problem, id, b).expect("solvable");
             gain.push(reap.expected_accuracy() / stat.expected_accuracy() - 1.0);
             time_loss.push(reap.active_time() / stat.active_time());
@@ -93,27 +93,21 @@ fn main() {
     // DPs on the MCU; we report host-side times and the scaling shape).
     println!("\nsolver runtime scaling (host, single solve, mean of 100 runs):");
     for n_points in [5usize, 10, 25, 50, 100] {
-        let pts: Vec<reap_core::OperatingPoint> = (0..n_points)
-            .map(|i| {
-                let frac = i as f64 / n_points as f64;
-                reap_core::OperatingPoint::new(
-                    i as u8 + 1,
-                    format!("P{i}"),
-                    0.5 + 0.45 * frac,
-                    reap_units::Power::from_milliwatts(1.0 + 2.0 * frac),
-                )
-                .expect("valid")
-            })
-            .collect();
-        let prob = reap_bench::standard_problem(pts, 1.0);
+        let prob = reap_bench::synthetic_problem(n_points);
         let budget = Energy::from_joules(5.0);
-        let start = std::time::Instant::now();
         let runs = 100;
+        let start = std::time::Instant::now();
         for _ in 0..runs {
             let _ = prob.solve(budget).expect("solvable");
         }
         let per_solve = start.elapsed().as_secs_f64() * 1e3 / runs as f64;
-        println!("  N = {n_points:>3}: {per_solve:.3} ms/solve");
+        let frontier = prob.frontier();
+        let start = std::time::Instant::now();
+        for _ in 0..runs {
+            let _ = frontier.solve(budget).expect("solvable");
+        }
+        let per_frontier = start.elapsed().as_secs_f64() * 1e3 / runs as f64;
+        println!("  N = {n_points:>3}: {per_solve:.3} ms/solve simplex, {per_frontier:.5} ms/solve frontier");
     }
     println!(
         "  (paper, 47 MHz MCU: 1.5 ms at N=5, 8 ms at N=100 — shape should be mildly super-linear)"

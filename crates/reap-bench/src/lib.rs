@@ -159,6 +159,31 @@ pub fn standard_problem(points: Vec<OperatingPoint>, alpha: f64) -> ReapProblem 
         .expect("bundled operating points are valid")
 }
 
+/// The synthetic `n`-point solver-scaling workload shared by the
+/// `simplex_scaling` bench, the `headlines` runtime section, and
+/// `bench_planner`: accuracies `0.5 + 0.45*i/n`, powers
+/// `1 + 2*i/n` mW, standard period and off power, `alpha = 1`.
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or exceeds 255 (point ids are `u8`).
+#[must_use]
+pub fn synthetic_problem(n: usize) -> ReapProblem {
+    let points: Vec<OperatingPoint> = (0..n)
+        .map(|i| {
+            let frac = i as f64 / n as f64;
+            OperatingPoint::new(
+                u8::try_from(i + 1).expect("at most 255 points"),
+                format!("P{i}"),
+                0.5 + 0.45 * frac,
+                reap_units::Power::from_milliwatts(1.0 + 2.0 * frac),
+            )
+            .expect("valid point")
+        })
+        .collect();
+    standard_problem(points, 1.0)
+}
+
 /// Formats one fixed-width table row.
 #[must_use]
 pub fn row(cells: &[String], widths: &[usize]) -> String {

@@ -2,6 +2,7 @@
 
 use reap_units::Energy;
 
+use crate::frontier::PlanFrontier;
 use crate::schedule::Schedule;
 use crate::{ReapError, ReapProblem};
 
@@ -14,6 +15,11 @@ pub enum SolverKind {
     /// The exact closed-form vertex search (`O(N^2)`), a faster
     /// alternative this reproduction adds as an ablation.
     ClosedForm,
+    /// The precomputed budget→schedule frontier ([`PlanFrontier`]): the
+    /// frontier is built lazily on the first plan, cached inside the
+    /// controller, and every solve afterwards is an `O(log K)` lookup.
+    /// Invalidated by [`ReapController::set_alpha`].
+    Frontier,
 }
 
 /// Runtime REAP controller.
@@ -33,17 +39,20 @@ pub struct ReapController {
     problem: ReapProblem,
     solver: SolverKind,
     plans: u64,
+    /// Lazily built cache for [`SolverKind::Frontier`]; dropped whenever
+    /// `alpha` changes (the frontier is specific to one weight vector).
+    frontier: Option<PlanFrontier>,
+    /// How many times the frontier cache has been (re)built — the
+    /// observable that lets tests prove plans reuse the cache (a rebuilt
+    /// frontier would compare equal to the cached one).
+    frontier_builds: u64,
 }
 
 impl ReapController {
     /// Creates a controller with the default (simplex) solver.
     #[must_use]
     pub fn new(problem: ReapProblem) -> ReapController {
-        ReapController {
-            problem,
-            solver: SolverKind::default(),
-            plans: 0,
-        }
+        ReapController::with_solver(problem, SolverKind::default())
     }
 
     /// Creates a controller with an explicit solver choice.
@@ -53,6 +62,8 @@ impl ReapController {
             problem,
             solver,
             plans: 0,
+            frontier: None,
+            frontier_builds: 0,
         }
     }
 
@@ -80,6 +91,9 @@ impl ReapController {
             )));
         }
         self.problem = self.problem.with_alpha(alpha);
+        // Frontier vertices depend on the weights a_i^alpha; rebuild
+        // lazily on the next plan.
+        self.frontier = None;
         Ok(())
     }
 
@@ -104,6 +118,16 @@ impl ReapController {
         match self.solver {
             SolverKind::Simplex => self.problem.solve(effective),
             SolverKind::ClosedForm => self.problem.solve_closed_form(effective),
+            SolverKind::Frontier => {
+                let problem = &self.problem;
+                let builds = &mut self.frontier_builds;
+                self.frontier
+                    .get_or_insert_with(|| {
+                        *builds += 1;
+                        problem.frontier()
+                    })
+                    .solve(effective)
+            }
         }
     }
 }
@@ -147,15 +171,40 @@ mod tests {
     fn solver_kinds_agree() {
         let mut simplex = ReapController::with_solver(problem(), SolverKind::Simplex);
         let mut closed = ReapController::with_solver(problem(), SolverKind::ClosedForm);
+        let mut frontier = ReapController::with_solver(problem(), SolverKind::Frontier);
         for b in [0.5, 2.0, 5.0, 8.0, 12.0] {
             let budget = Energy::from_joules(b);
             let a = simplex.plan(budget).unwrap();
             let c = closed.plan(budget).unwrap();
+            let f = frontier.plan(budget).unwrap();
             assert!(
                 (a.objective(1.0) - c.objective(1.0)).abs() < 1e-9,
                 "budget {b}"
             );
+            assert!(
+                (a.objective(1.0) - f.objective(1.0)).abs() < 1e-9,
+                "budget {b}: simplex vs frontier"
+            );
         }
+    }
+
+    #[test]
+    fn frontier_cache_survives_plans_and_resets_on_alpha_change() {
+        let mut c = ReapController::with_solver(problem(), SolverKind::Frontier);
+        assert!(c.frontier.is_none());
+        assert_eq!(c.frontier_builds, 0);
+        let _ = c.plan(Energy::from_joules(3.0)).unwrap();
+        let _ = c.plan(Energy::from_joules(7.0)).unwrap();
+        assert_eq!(c.frontier_builds, 1, "plans after the first must reuse");
+        let cached = c.frontier.clone().expect("built on first plan");
+        c.set_alpha(3.0).unwrap();
+        assert!(c.frontier.is_none(), "set_alpha must invalidate");
+        // Replanning after the alpha change agrees with a fresh simplex.
+        let s = c.plan(Energy::from_joules(3.0)).unwrap();
+        let reference = c.problem().solve(Energy::from_joules(3.0)).unwrap();
+        assert!((s.objective(3.0) - reference.objective(3.0)).abs() < 1e-9);
+        assert_eq!(c.frontier_builds, 2, "one rebuild for the new alpha");
+        assert_ne!(c.frontier, Some(cached), "rebuilt for the new alpha");
     }
 
     #[test]

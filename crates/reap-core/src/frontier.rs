@@ -1,0 +1,414 @@
+//! The precomputed budget→schedule frontier.
+//!
+//! The REAP LP has only two constraints, so its optimal value is a
+//! *concave piecewise-linear* function of the energy budget, and the
+//! optimal basis changes only at a handful of budget breakpoints (the
+//! region boundaries of the paper's Fig. 5). This module precomputes that
+//! structure once per `(points, alpha)` and answers every subsequent solve
+//! with a binary search plus linear interpolation — `O(log K)` per call
+//! with zero LP work.
+//!
+//! # Derivation
+//!
+//! Eliminate `t_off = TP - sum t_i` and divide by `TP`. Writing
+//! `f_i = t_i / TP` for the fraction of the period spent at point `i`
+//! (with `f_off` the off fraction), the problem becomes: choose a convex
+//! combination of the "points" `(m_i, w_i)` — marginal power
+//! `m_i = P_i - P_off` against objective weight `w_i = a_i^alpha` — plus
+//! the off state `(0, 0)`, maximizing the combined weight subject to the
+//! combined marginal power not exceeding `x = (Eb - P_off*TP) / TP`.
+//!
+//! The achievable set is the convex hull of `{(0,0)} ∪ {(m_i, w_i)}`, so
+//! the optimum is the **upper concave hull** of those points evaluated at
+//! `x`. Hull vertices are exactly the closed-form solver's vertex
+//! schedules: "run one point for the whole period" (or stay off), and
+//! every budget between two adjacent breakpoints mixes the two bracketing
+//! vertices — which is why the LP optimum never activates more than two
+//! points. Beyond the last vertex (the best-weight point) extra energy
+//! buys nothing and the objective saturates.
+
+use std::sync::Arc;
+
+use reap_units::{Energy, Power, TimeSpan};
+
+use crate::schedule::Allocation;
+use crate::{OperatingPoint, ReapError, ReapProblem, Schedule};
+
+/// One vertex of the concave frontier: a breakpoint budget together with
+/// the full-period schedule that is optimal exactly there.
+#[derive(Debug, Clone, PartialEq)]
+struct FrontierVertex {
+    /// Budget at which this vertex is the exact optimum (joules).
+    budget_j: f64,
+    /// Objective `J` at this vertex (`w_i`, or 0 for the off vertex).
+    objective: f64,
+    /// The point running the whole period here; `None` is the all-off
+    /// vertex at the budget floor.
+    point: Option<Arc<OperatingPoint>>,
+}
+
+/// Precomputed concave budget→schedule frontier for one `(points, alpha)`.
+///
+/// Construction is `O(N log N)` (sort + monotone hull scan); each
+/// [`PlanFrontier::solve`] afterwards is `O(log K)` over the `K <= N + 1`
+/// retained vertices and allocates nothing beyond the returned schedule's
+/// one or two [`Allocation`]s. Equivalence with the tableau simplex is
+/// enforced by unit and property tests (`|Δ objective| < 1e-9`).
+///
+/// The frontier is valid for the exact `(points, alpha, period, P_off)` it
+/// was built from; [`ReapController`](crate::ReapController) caches one
+/// and invalidates it when `set_alpha` changes the weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanFrontier {
+    vertices: Vec<FrontierVertex>,
+    period: TimeSpan,
+    off_power: Power,
+    alpha: f64,
+    min_budget_j: f64,
+}
+
+impl PlanFrontier {
+    /// Builds the frontier for `problem` (infallible: the problem was
+    /// validated at construction).
+    #[must_use]
+    pub fn new(problem: &ReapProblem) -> PlanFrontier {
+        let tp = problem.period().seconds();
+        let p_off = problem.off_power().watts();
+        let alpha = problem.alpha();
+        let min_budget_j = problem.min_budget().joules();
+
+        // Candidates in (marginal power, weight) space, plus the off state
+        // at the origin. Marginal powers are positive by construction
+        // (problem validation rejects P_i <= P_off).
+        let mut candidates: Vec<(f64, f64, Option<&Arc<OperatingPoint>>)> = problem
+            .points()
+            .iter()
+            .map(|p| (p.power().watts() - p_off, p.weight(alpha), Some(p)))
+            .collect();
+        candidates.push((0.0, 0.0, None));
+        candidates.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite powers")
+                .then(b.1.partial_cmp(&a.1).expect("finite weights"))
+        });
+
+        // Upper concave hull, monotone-scan style. Dominated points (no
+        // weight gain for the extra power) never enter; interior points of
+        // a segment are popped when the incoming slope stops decreasing.
+        let mut hull: Vec<(f64, f64, Option<&Arc<OperatingPoint>>)> = Vec::new();
+        for cand in candidates {
+            if let Some(last) = hull.last() {
+                // Strictly more power for no strictly better weight.
+                if cand.1 <= last.1 {
+                    continue;
+                }
+            }
+            while hull.len() >= 2 {
+                let a = hull[hull.len() - 2];
+                let b = hull[hull.len() - 1];
+                // Keep b only if the slope a→b strictly exceeds b→cand.
+                let keep = (b.1 - a.1) * (cand.0 - b.0) > (cand.1 - b.1) * (b.0 - a.0);
+                if keep {
+                    break;
+                }
+                hull.pop();
+            }
+            hull.push(cand);
+        }
+
+        let vertices = hull
+            .into_iter()
+            .map(|(m, w, p)| FrontierVertex {
+                budget_j: min_budget_j + m * tp,
+                objective: w,
+                point: p.cloned(),
+            })
+            .collect();
+        PlanFrontier {
+            vertices,
+            period: problem.period(),
+            off_power: problem.off_power(),
+            alpha,
+            min_budget_j,
+        }
+    }
+
+    /// The `alpha` the frontier was built for.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The breakpoint budgets, ascending. The first is the budget floor
+    /// `P_off * TP`; the last is the saturation budget beyond which the
+    /// objective is constant. Between two adjacent breakpoints the optimal
+    /// basis is fixed and the schedule interpolates linearly.
+    #[must_use]
+    pub fn breakpoints(&self) -> Vec<Energy> {
+        self.vertices
+            .iter()
+            .map(|v| Energy::from_joules(v.budget_j))
+            .collect()
+    }
+
+    /// Number of frontier segments (breakpoints minus one).
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.vertices.len().saturating_sub(1)
+    }
+
+    /// Validates the budget and maps it to `(segment index, lambda)`:
+    /// the optimum mixes `vertices[k]` (fraction `1 - lambda`) and
+    /// `vertices[k + 1]` (fraction `lambda`). Saturated budgets clamp to
+    /// the last vertex.
+    fn locate(&self, budget: Energy) -> Result<(usize, f64), ReapError> {
+        if !budget.is_finite() {
+            return Err(ReapError::InvalidParameter(format!(
+                "budget {budget} is not finite"
+            )));
+        }
+        // Same float-dust tolerance as the other solvers: the paper
+        // sweeps from exactly the 0.18 J floor.
+        if budget.joules() < self.min_budget_j * (1.0 - 1e-12) {
+            return Err(ReapError::BudgetTooSmall {
+                budget,
+                minimum: Energy::from_joules(self.min_budget_j),
+            });
+        }
+        let b = budget.joules();
+        let last = self.vertices.len() - 1;
+        if last == 0 {
+            // Degenerate frontier (every weight is zero): all-off is
+            // optimal at every feasible budget.
+            return Ok((0, 0.0));
+        }
+        if b >= self.vertices[last].budget_j {
+            // Saturated: the last vertex runs the whole period.
+            return Ok((last - 1, 1.0));
+        }
+        // First vertex with budget_j > b ends the bracketing segment.
+        let hi_idx = self.vertices.partition_point(|v| v.budget_j <= b).max(1);
+        let lo = &self.vertices[hi_idx - 1];
+        let hi = &self.vertices[hi_idx];
+        let lambda = ((b - lo.budget_j) / (hi.budget_j - lo.budget_j)).clamp(0.0, 1.0);
+        Ok((hi_idx - 1, lambda))
+    }
+
+    /// Exact optimal objective `J` at `budget`, without materializing a
+    /// schedule — the fast path for shadow-price probes and sweeps that
+    /// only need the value function.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PlanFrontier::solve`].
+    pub fn objective_at(&self, budget: Energy) -> Result<f64, ReapError> {
+        let (k, lambda) = self.locate(budget)?;
+        let lo = &self.vertices[k];
+        let hi = &self.vertices[(k + 1).min(self.vertices.len() - 1)];
+        Ok(lo.objective + lambda * (hi.objective - lo.objective))
+    }
+
+    /// Exact optimal schedule at `budget`: binary search for the segment,
+    /// then linear interpolation between its two cached vertex schedules.
+    ///
+    /// # Errors
+    ///
+    /// * [`ReapError::BudgetTooSmall`] below the `P_off * TP` floor.
+    /// * [`ReapError::InvalidParameter`] for a non-finite budget.
+    pub fn solve(&self, budget: Energy) -> Result<Schedule, ReapError> {
+        let (k, lambda) = self.locate(budget)?;
+        let tp = self.period.seconds();
+        let lo = &self.vertices[k];
+        let hi = &self.vertices[(k + 1).min(self.vertices.len() - 1)];
+
+        let mut allocations = Vec::with_capacity(2);
+        let mut active = 0.0;
+        if let Some(point) = &lo.point {
+            let t = (1.0 - lambda) * tp;
+            active += t;
+            allocations.push(Allocation {
+                point: Arc::clone(point),
+                duration: TimeSpan::from_seconds(t),
+            });
+        }
+        if lambda > 0.0 {
+            if let Some(point) = &hi.point {
+                let t = lambda * tp;
+                active += t;
+                allocations.push(Allocation {
+                    point: Arc::clone(point),
+                    duration: TimeSpan::from_seconds(t),
+                });
+            }
+        }
+        Ok(Schedule::new(
+            allocations,
+            TimeSpan::from_seconds((tp - active).max(0.0)),
+            self.period,
+            self.off_power,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(id: u8, acc: f64, mw: f64) -> OperatingPoint {
+        OperatingPoint::new(id, format!("DP{id}"), acc, Power::from_milliwatts(mw)).unwrap()
+    }
+
+    fn paper_problem(alpha: f64) -> ReapProblem {
+        ReapProblem::builder()
+            .alpha(alpha)
+            .points(vec![
+                point(1, 0.94, 2.76),
+                point(2, 0.93, 2.30),
+                point(3, 0.92, 1.82),
+                point(4, 0.90, 1.64),
+                point(5, 0.76, 1.20),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn breakpoints_span_floor_to_saturation() {
+        let p = paper_problem(1.0);
+        let f = p.frontier();
+        let bp = f.breakpoints();
+        assert!(bp.len() >= 2);
+        assert!((bp[0].joules() - p.min_budget().joules()).abs() < 1e-12);
+        // The last breakpoint is where the best-weight point (DP1 at
+        // alpha = 1) fills the period: exactly the saturation budget.
+        assert!((bp.last().unwrap().joules() - p.saturation_budget().joules()).abs() < 1e-9);
+        for w in bp.windows(2) {
+            assert!(w[0] < w[1], "breakpoints not ascending: {bp:?}");
+        }
+        assert_eq!(f.segments(), bp.len() - 1);
+    }
+
+    #[test]
+    fn matches_simplex_everywhere_including_breakpoints() {
+        for alpha in [0.0, 0.5, 1.0, 2.0, 4.0, 8.0] {
+            let p = paper_problem(alpha);
+            let f = p.frontier();
+            let mut budgets: Vec<f64> = vec![0.18, 0.5, 1.0, 3.0, 4.3, 5.0, 6.5, 9.936, 12.0];
+            // Exactly at and just around every breakpoint.
+            for b in f.breakpoints() {
+                budgets.push(b.joules());
+                budgets.push(b.joules() + 1e-6);
+                budgets.push((b.joules() - 1e-6).max(p.min_budget().joules()));
+            }
+            for b in budgets {
+                let budget = Energy::from_joules(b);
+                let simplex = p.solve(budget).unwrap();
+                let fast = f.solve(budget).unwrap();
+                assert!(
+                    (simplex.objective(alpha) - fast.objective(alpha)).abs() < 1e-9,
+                    "alpha {alpha} budget {b}: simplex {} vs frontier {}",
+                    simplex.objective(alpha),
+                    fast.objective(alpha)
+                );
+                assert!(fast.is_feasible(budget, 1e-6), "infeasible at {b} J");
+                assert!(
+                    (f.objective_at(budget).unwrap() - fast.objective(alpha)).abs() < 1e-12,
+                    "objective_at disagrees with solve at {b} J"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixes_at_most_two_points_and_respects_regions() {
+        let p = paper_problem(1.0);
+        let f = p.frontier();
+        // Region 1: DP5 alone, duty-cycled.
+        let s3 = f.solve(Energy::from_joules(3.0)).unwrap();
+        assert_eq!(s3.allocations().len(), 1);
+        assert_eq!(s3.allocations()[0].point.id(), 5);
+        assert!(s3.off_time().seconds() > 0.0);
+        // Region 2: the paper's 5 J checkpoint mixes DP4/DP5 42%/58%.
+        let s5 = f.solve(Energy::from_joules(5.0)).unwrap();
+        assert_eq!(s5.allocations().len(), 2);
+        assert!((s5.fraction_for(4) - 0.42).abs() < 0.02);
+        assert!((s5.fraction_for(5) - 0.58).abs() < 0.02);
+        // Saturation: DP1 all period, and more budget changes nothing.
+        let sat = f.solve(Energy::from_joules(11.0)).unwrap();
+        assert!((sat.fraction_for(1) - 1.0).abs() < 1e-9);
+        assert_eq!(sat, f.solve(Energy::from_joules(500.0)).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_budgets() {
+        let f = paper_problem(1.0).frontier();
+        assert!(matches!(
+            f.solve(Energy::from_joules(0.1)),
+            Err(ReapError::BudgetTooSmall { .. })
+        ));
+        assert!(matches!(
+            f.solve(Energy::from_joules(f64::NAN)),
+            Err(ReapError::InvalidParameter(_))
+        ));
+        assert!(f.objective_at(Energy::from_joules(0.1)).is_err());
+    }
+
+    #[test]
+    fn solve_many_equals_individual_solves() {
+        let p = paper_problem(2.0);
+        let budgets: Vec<Energy> = [0.18, 1.0, 4.0, 7.0, 12.0]
+            .iter()
+            .map(|&j| Energy::from_joules(j))
+            .collect();
+        let batch = p.solve_many(&budgets).unwrap();
+        for (b, s) in budgets.iter().zip(&batch) {
+            assert_eq!(s, &p.frontier().solve(*b).unwrap());
+            assert!((s.objective(2.0) - p.solve(*b).unwrap().objective(2.0)).abs() < 1e-9);
+        }
+        // One bad budget fails the whole batch.
+        assert!(p.solve_many(&[Energy::from_joules(0.01)]).is_err());
+    }
+
+    #[test]
+    fn zero_weight_frontier_degenerates_to_off() {
+        // accuracy 0 with alpha > 0 gives every point zero weight; the
+        // frontier collapses to the off vertex and stays optimal (the
+        // objective is 0 no matter what runs).
+        let p = ReapProblem::builder()
+            .alpha(2.0)
+            .point(OperatingPoint::new(1, "Z", 0.0, Power::from_milliwatts(1.0)).unwrap())
+            .build()
+            .unwrap();
+        let f = p.frontier();
+        let s = f.solve(Energy::from_joules(5.0)).unwrap();
+        assert!(s.allocations().is_empty());
+        assert_eq!(f.objective_at(Energy::from_joules(5.0)).unwrap(), 0.0);
+        assert_eq!(
+            s.objective(2.0),
+            p.solve(Energy::from_joules(5.0)).unwrap().objective(2.0)
+        );
+    }
+
+    #[test]
+    fn dominated_and_duplicate_points_are_pruned() {
+        // DP "bad" costs more power for less weight; "twin" duplicates
+        // DP "good"'s power with lower accuracy. Neither may appear.
+        let p = ReapProblem::builder()
+            .points(vec![
+                point(1, 0.90, 1.5),
+                OperatingPoint::new(2, "bad", 0.5, Power::from_milliwatts(2.5)).unwrap(),
+                OperatingPoint::new(3, "twin", 0.7, Power::from_milliwatts(1.5)).unwrap(),
+            ])
+            .build()
+            .unwrap();
+        let f = p.frontier();
+        for b in [0.5, 2.0, 4.0, 6.0] {
+            let s = f.solve(Energy::from_joules(b)).unwrap();
+            for a in s.allocations() {
+                assert_eq!(a.point.id(), 1, "dominated point ran at {b} J");
+            }
+            let simplex = p.solve(Energy::from_joules(b)).unwrap();
+            assert!((s.objective(1.0) - simplex.objective(1.0)).abs() < 1e-9);
+        }
+    }
+}

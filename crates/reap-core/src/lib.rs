@@ -65,6 +65,7 @@
 mod controller;
 mod error;
 mod explain;
+mod frontier;
 mod horizon;
 mod operating_point;
 mod problem;
@@ -77,6 +78,7 @@ mod sweep;
 pub use controller::{ReapController, SolverKind};
 pub use error::ReapError;
 pub use explain::{explain, BindingConstraint, Explanation};
+pub use frontier::PlanFrontier;
 pub use horizon::{plan_horizon, HorizonPlan};
 pub use operating_point::OperatingPoint;
 pub use problem::{ReapProblem, ReapProblemBuilder};

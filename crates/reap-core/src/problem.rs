@@ -1,7 +1,10 @@
 //! The REAP optimization problem.
 
+use std::sync::Arc;
+
 use reap_units::{Energy, Power, TimeSpan};
 
+use crate::frontier::PlanFrontier;
 use crate::solver;
 use crate::{OperatingPoint, ReapError, Schedule};
 
@@ -12,9 +15,13 @@ use crate::{OperatingPoint, ReapError, Schedule};
 /// The *energy budget* `Eb` is deliberately **not** part of the problem: it
 /// changes every period as harvesting conditions change, and is passed to
 /// [`ReapProblem::solve`] at runtime — exactly the paper's usage model.
+///
+/// Points are stored behind [`Arc`] so that schedules (which reference the
+/// point they allocate time to) and problem clones (`with_alpha`, the sim
+/// engine) share them instead of deep-copying labels on the hot path.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReapProblem {
-    points: Vec<OperatingPoint>,
+    points: Vec<Arc<OperatingPoint>>,
     period: TimeSpan,
     off_power: Power,
     alpha: f64,
@@ -130,7 +137,7 @@ impl ReapProblemBuilder {
             }
         }
         Ok(ReapProblem {
-            points: self.points,
+            points: self.points.into_iter().map(Arc::new).collect(),
             period: self.period,
             off_power: self.off_power,
             alpha: self.alpha,
@@ -145,9 +152,9 @@ impl ReapProblem {
         ReapProblemBuilder::default()
     }
 
-    /// The operating points.
+    /// The operating points (shared handles; deref to [`OperatingPoint`]).
     #[must_use]
-    pub fn points(&self) -> &[OperatingPoint] {
+    pub fn points(&self) -> &[Arc<OperatingPoint>] {
         &self.points
     }
 
@@ -156,7 +163,7 @@ impl ReapProblem {
     /// # Errors
     ///
     /// [`ReapError::UnknownPoint`] when no point has this id.
-    pub fn point(&self, id: u8) -> Result<&OperatingPoint, ReapError> {
+    pub fn point(&self, id: u8) -> Result<&Arc<OperatingPoint>, ReapError> {
         self.points
             .iter()
             .find(|p| p.id() == id)
@@ -205,7 +212,7 @@ impl ReapProblem {
         let p_max = self
             .points
             .iter()
-            .map(OperatingPoint::power)
+            .map(|p| p.power())
             .fold(Power::ZERO, Power::max);
         p_max * self.period
     }
@@ -231,6 +238,28 @@ impl ReapProblem {
     /// [`ReapError::BudgetTooSmall`] when `budget < P_off * TP`.
     pub fn solve_closed_form(&self, budget: Energy) -> Result<Schedule, ReapError> {
         solver::solve_closed_form(self, budget)
+    }
+
+    /// Precomputes the full budget→schedule frontier for this problem's
+    /// `(points, alpha)`, after which every solve is an `O(log K)` lookup
+    /// (see [`PlanFrontier`]).
+    #[must_use]
+    pub fn frontier(&self) -> PlanFrontier {
+        PlanFrontier::new(self)
+    }
+
+    /// Solves the problem at each budget via a single precomputed
+    /// [`PlanFrontier`] — the batch API the sweeps, region detection, and
+    /// figure binaries use instead of `budgets.len()` independent LP
+    /// solves.
+    ///
+    /// # Errors
+    ///
+    /// [`ReapError::BudgetTooSmall`] for any budget below `P_off * TP`;
+    /// [`ReapError::InvalidParameter`] for non-finite budgets.
+    pub fn solve_many(&self, budgets: &[Energy]) -> Result<Vec<Schedule>, ReapError> {
+        let frontier = self.frontier();
+        budgets.iter().map(|&b| frontier.solve(b)).collect()
     }
 }
 

@@ -83,6 +83,10 @@ impl std::fmt::Display for RegionMap {
 /// Scans the budget axis at `resolution` steps and merges consecutive
 /// budgets whose optimal schedules activate the same point set.
 ///
+/// The scan solves through one precomputed frontier
+/// ([`ReapProblem::solve_many`]) instead of `resolution` independent LP
+/// solves, so high resolutions are cheap.
+///
 /// # Errors
 ///
 /// * [`ReapError::InvalidParameter`] when `resolution < 2`.
@@ -98,14 +102,16 @@ pub fn detect_regions(problem: &ReapProblem, resolution: usize) -> Result<Region
     // nonzero width instead of degenerating to a point at the boundary.
     let hi = problem.saturation_budget().joules() * 1.02;
     let step = (hi - lo) / (resolution - 1) as f64;
+    let budgets: Vec<Energy> = (0..resolution)
+        .map(|k| Energy::from_joules(lo + step * k as f64))
+        .collect();
+    let schedules = problem.solve_many(&budgets)?;
 
     let mut bounds = vec![problem.min_budget()];
     let mut regions: Vec<Region> = Vec::new();
     let mut current: Option<(Vec<u8>, bool)> = None;
 
-    for k in 0..resolution {
-        let budget = Energy::from_joules(lo + step * k as f64);
-        let schedule = problem.solve(budget)?;
+    for (budget, schedule) in budgets.into_iter().zip(schedules) {
         let ids: Vec<u8> = schedule
             .allocations()
             .iter()

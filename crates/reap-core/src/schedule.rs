@@ -1,16 +1,22 @@
 //! Schedules: the optimizer's output.
 
 use std::fmt;
+use std::sync::Arc;
 
 use reap_units::{Energy, Power, TimeSpan};
 
 use crate::OperatingPoint;
 
 /// Time allocated to one operating point within an activity period.
+///
+/// The point is held behind an [`Arc`] shared with the owning
+/// [`ReapProblem`](crate::ReapProblem), so building a schedule never deep-
+/// copies point labels — planning loops construct thousands of schedules
+/// per simulated month.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Allocation {
     /// The operating point being used.
-    pub point: OperatingPoint,
+    pub point: Arc<OperatingPoint>,
     /// How long it runs during the period.
     pub duration: TimeSpan,
 }
@@ -164,8 +170,10 @@ impl fmt::Display for Schedule {
 mod tests {
     use super::*;
 
-    fn point(id: u8, acc: f64, mw: f64) -> OperatingPoint {
-        OperatingPoint::new(id, format!("DP{id}"), acc, Power::from_milliwatts(mw)).unwrap()
+    fn point(id: u8, acc: f64, mw: f64) -> Arc<OperatingPoint> {
+        Arc::new(
+            OperatingPoint::new(id, format!("DP{id}"), acc, Power::from_milliwatts(mw)).unwrap(),
+        )
     }
 
     fn hour() -> TimeSpan {

@@ -62,18 +62,25 @@ pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 
 /// Solves REAP and all static baselines at each budget.
 ///
+/// The REAP schedules come from one precomputed [`PlanFrontier`] via
+/// [`ReapProblem::solve_many`] — one `O(N log N)` frontier build plus an
+/// `O(log K)` lookup per budget instead of a fresh LP per row.
+///
 /// # Errors
 ///
 /// Propagates solver errors; budgets below the floor are invalid here
 /// (sweeps should start at [`ReapProblem::min_budget`]).
+///
+/// [`PlanFrontier`]: crate::PlanFrontier
 pub fn energy_sweep(
     problem: &ReapProblem,
     budgets: &[Energy],
 ) -> Result<Vec<SweepPoint>, ReapError> {
+    let reaps = problem.solve_many(budgets)?;
     budgets
         .iter()
-        .map(|&budget| {
-            let reap = problem.solve(budget)?;
+        .zip(reaps)
+        .map(|(&budget, reap)| {
             let statics = problem
                 .points()
                 .iter()
@@ -102,13 +109,15 @@ pub fn energy_sweep(
 /// Propagates solver errors; the budget must be at least
 /// [`ReapProblem::min_budget`] plus the probe step.
 pub fn energy_shadow_price(problem: &ReapProblem, budget: Energy) -> Result<f64, ReapError> {
-    let alpha = problem.alpha();
     let h = Energy::from_millijoules(
         (budget.millijoules() * 1e-4).max(1.0), // >= 1 mJ probe
     );
-    let lo = problem.solve(budget - h)?;
-    let hi = problem.solve(budget + h)?;
-    Ok((hi.objective(alpha) - lo.objective(alpha)) / (2.0 * h.joules()))
+    // One frontier serves both probes, and `objective_at` skips schedule
+    // construction entirely.
+    let frontier = problem.frontier();
+    let lo = frontier.objective_at(budget - h)?;
+    let hi = frontier.objective_at(budget + h)?;
+    Ok((hi - lo) / (2.0 * h.joules()))
 }
 
 /// Solves REAP at each `alpha` for a fixed budget (statics are computed
@@ -125,8 +134,10 @@ pub fn alpha_sweep(
     alphas
         .iter()
         .map(|&alpha| {
+            // Each alpha has its own weight vector, hence its own
+            // frontier; statics are alpha-independent.
             let p = problem.with_alpha(alpha);
-            let reap = p.solve(budget)?;
+            let reap = p.frontier().solve(budget)?;
             let statics = p
                 .points()
                 .iter()

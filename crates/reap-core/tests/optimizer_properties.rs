@@ -78,6 +78,33 @@ proptest! {
     }
 
     #[test]
+    fn frontier_matches_simplex_at_random_budgets_breakpoints_and_floor(
+        (problem, budget) in arb_instance()
+    ) {
+        let alpha = problem.alpha();
+        let frontier = problem.frontier();
+        // The random budget, every breakpoint (where the optimal basis
+        // changes and interpolation degenerates to a vertex), and the
+        // exact floor.
+        let mut budgets = vec![budget, problem.min_budget()];
+        budgets.extend(frontier.breakpoints());
+        for b in budgets {
+            let simplex = problem.solve(b).expect("solvable");
+            let fast = frontier.solve(b).expect("solvable");
+            prop_assert!(
+                (simplex.objective(alpha) - fast.objective(alpha)).abs()
+                    <= 1e-9 * (1.0 + simplex.objective(alpha).abs()),
+                "at {b}: simplex {} vs frontier {}",
+                simplex.objective(alpha), fast.objective(alpha)
+            );
+            prop_assert!(fast.is_feasible(b, 1e-6), "frontier infeasible at {b}: {fast}");
+            prop_assert!(fast.allocations().len() <= 2);
+            let total = fast.active_time() + fast.off_time();
+            prop_assert!((total.seconds() - problem.period().seconds()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
     fn schedules_are_always_feasible((problem, budget) in arb_instance()) {
         let reap = problem.solve(budget).expect("solvable");
         prop_assert!(reap.is_feasible(budget, 1e-6), "infeasible: {reap}");

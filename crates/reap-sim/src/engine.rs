@@ -1,6 +1,9 @@
 //! The hour-by-hour simulation loop.
 
-use reap_core::{static_schedule, ReapController, Schedule};
+use std::borrow::Cow;
+use std::fmt;
+
+use reap_core::{static_schedule, ReapController, Schedule, SolverKind};
 use reap_units::Energy;
 
 use crate::report::{HourRecord, SimReport};
@@ -16,12 +19,22 @@ pub enum Policy {
 }
 
 impl Policy {
-    /// Short name for reports.
+    /// Short name for reports: borrowed `"REAP"`, or `"DPk"` formatted on
+    /// demand (reports store the [`Policy`] itself, not a name).
     #[must_use]
-    pub fn name(self) -> String {
+    pub fn name(self) -> Cow<'static, str> {
         match self {
-            Policy::Reap => "REAP".to_string(),
-            Policy::Static(id) => format!("DP{id}"),
+            Policy::Reap => Cow::Borrowed("REAP"),
+            Policy::Static(id) => Cow::Owned(format!("DP{id}")),
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Policy::Reap => f.write_str("REAP"),
+            Policy::Static(id) => write!(f, "DP{id}"),
         }
     }
 }
@@ -30,7 +43,11 @@ impl Policy {
 /// protocol: the allocator runs against a *virtual* battery that assumes
 /// every granted budget is fully spent, so the resulting sequence depends
 /// only on the harvest trace.
-fn open_loop_budgets(scenario: &Scenario) -> Vec<Energy> {
+///
+/// Because the sequence is policy-independent, callers running several
+/// policies over one scenario ([`Scenario::run_all`],
+/// [`run_matrix`](crate::run_matrix)) compute it once and share it.
+pub(crate) fn open_loop_budgets(scenario: &Scenario) -> Vec<Energy> {
     let mut allocator = scenario.allocator.instantiate();
     let mut virtual_battery = scenario.battery.clone();
     let floor = scenario.problem.min_budget();
@@ -53,20 +70,30 @@ fn open_loop_budgets(scenario: &Scenario) -> Vec<Energy> {
     budgets
 }
 
-/// Runs `scenario` under `policy`.
-pub(crate) fn run(scenario: &Scenario, policy: Policy) -> Result<SimReport, SimError> {
+/// Runs `scenario` under `policy`, optionally against an open-loop budget
+/// sequence the caller already computed (`None` derives budgets from the
+/// scenario's own mode, exactly as before).
+pub(crate) fn run_with_budgets(
+    scenario: &Scenario,
+    policy: Policy,
+    shared_budgets: Option<&[Energy]>,
+) -> Result<SimReport, SimError> {
     // Fail fast on unknown static ids.
     if let Policy::Static(id) = policy {
         scenario.problem.point(id)?;
     }
-    let mut controller = ReapController::new(scenario.problem.clone());
+    // The frontier solver: one precomputed frontier serves all 720 hourly
+    // plans of a month-long trace.
+    let mut controller =
+        ReapController::with_solver(scenario.problem.clone(), SolverKind::Frontier);
     let mut allocator = scenario.allocator.instantiate();
     let mut battery = scenario.battery.clone();
     let problem = &scenario.problem;
     let floor = problem.min_budget();
-    let precomputed = match scenario.budget_mode {
-        crate::BudgetMode::OpenLoop => Some(open_loop_budgets(scenario)),
-        crate::BudgetMode::ClosedLoop => None,
+    let precomputed: Option<Cow<'_, [Energy]>> = match (shared_budgets, scenario.budget_mode) {
+        (Some(budgets), crate::BudgetMode::OpenLoop) => Some(Cow::Borrowed(budgets)),
+        (None, crate::BudgetMode::OpenLoop) => Some(Cow::Owned(open_loop_budgets(scenario))),
+        (_, crate::BudgetMode::ClosedLoop) => None,
     };
 
     let mut hours = Vec::with_capacity(scenario.trace.len_hours());
@@ -132,11 +159,17 @@ pub(crate) fn run(scenario: &Scenario, policy: Policy) -> Result<SimReport, SimE
     }
 
     Ok(SimReport::new(
-        policy.name(),
-        allocator.name().to_string(),
+        policy,
+        allocator.name(),
         problem.alpha(),
         hours,
     ))
+}
+
+/// Runs `scenario` under `policy` with budgets derived from the
+/// scenario's own mode.
+pub(crate) fn run(scenario: &Scenario, policy: Policy) -> Result<SimReport, SimError> {
+    run_with_budgets(scenario, policy, None)
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ mod activity_stream;
 mod engine;
 mod error;
 mod fidelity;
+mod matrix;
 mod recognition;
 mod report;
 mod scenario;
@@ -43,6 +44,7 @@ pub use activity_stream::ActivityStream;
 pub use engine::Policy;
 pub use error::SimError;
 pub use fidelity::{execute_schedule, ExecutionOutcome, PointOutcome};
+pub use matrix::run_matrix;
 pub use recognition::{sample_hour, sample_report, HourRecognitions};
 pub use report::{HourRecord, SimReport};
 pub use scenario::{AllocatorKind, BudgetMode, Scenario, ScenarioBuilder};

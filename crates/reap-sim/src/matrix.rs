@@ -1,0 +1,160 @@
+//! The parallel scenario executor: policies × scenarios fanned out over
+//! OS threads.
+//!
+//! The figure/table binaries and month-long comparisons run the same
+//! hour-by-hour engine over many (scenario, policy) pairs. Each pair is
+//! independent, and in the paper's open-loop protocol the budget sequence
+//! depends only on the scenario — so [`run_matrix`] computes each
+//! scenario's budgets once, then executes every pair on a scoped worker
+//! pool. Results are returned in deterministic (scenario-major, policy
+//! order) layout and are bit-identical to sequential [`Scenario::run`]
+//! calls: parallelism changes only which core runs a pair, never the
+//! arithmetic inside it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use reap_units::Energy;
+
+use crate::engine::{self, Policy};
+use crate::{BudgetMode, Scenario, SimError, SimReport};
+
+/// Runs every `policy` over every `scenario` in parallel.
+///
+/// Returns `reports[s][p]`: the report for `scenarios[s]` under
+/// `policies[p]`. Worker threads are capped at the machine's available
+/// parallelism (and at the number of pairs); each open-loop scenario's
+/// budget sequence is computed once and shared by all of its policy runs.
+///
+/// # Errors
+///
+/// Propagates the first engine error in (scenario, policy) order —
+/// e.g. a [`Policy::Static`] id missing from a scenario's problem.
+pub fn run_matrix(
+    scenarios: &[Scenario],
+    policies: &[Policy],
+) -> Result<Vec<Vec<SimReport>>, SimError> {
+    if scenarios.is_empty() || policies.is_empty() {
+        return Ok(scenarios.iter().map(|_| Vec::new()).collect());
+    }
+
+    // Open-loop budget sequences are policy-independent: one per scenario.
+    let shared_budgets: Vec<Option<Vec<Energy>>> = scenarios
+        .iter()
+        .map(|s| match s.budget_mode {
+            BudgetMode::OpenLoop => Some(engine::open_loop_budgets(s)),
+            BudgetMode::ClosedLoop => None,
+        })
+        .collect();
+
+    let jobs = scenarios.len() * policies.len();
+    let next_job = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<SimReport, SimError>>>> =
+        (0..jobs).map(|_| Mutex::new(None)).collect();
+    let workers = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZero::get)
+        .min(jobs);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = next_job.fetch_add(1, Ordering::Relaxed);
+                if job >= jobs {
+                    break;
+                }
+                let (s, p) = (job / policies.len(), job % policies.len());
+                let result = engine::run_with_budgets(
+                    &scenarios[s],
+                    policies[p],
+                    shared_budgets[s].as_deref(),
+                );
+                *slots[job].lock().expect("no panics hold this lock") = Some(result);
+            });
+        }
+    });
+
+    let mut flat = slots.into_iter().map(|slot| {
+        slot.into_inner()
+            .expect("worker panics propagate out of the scope")
+            .expect("every job index was claimed exactly once")
+    });
+    let mut reports = Vec::with_capacity(scenarios.len());
+    for _ in scenarios {
+        reports.push(
+            flat.by_ref()
+                .take(policies.len())
+                .collect::<Result<_, _>>()?,
+        );
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reap_core::OperatingPoint;
+    use reap_harvest::HarvestTrace;
+    use reap_units::Power;
+
+    fn paper_points() -> Vec<OperatingPoint> {
+        let specs = [
+            (1u8, 0.94, 2.76),
+            (2, 0.93, 2.30),
+            (3, 0.92, 1.82),
+            (4, 0.90, 1.64),
+            (5, 0.76, 1.20),
+        ];
+        specs
+            .iter()
+            .map(|&(id, a, mw)| {
+                OperatingPoint::new(id, format!("DP{id}"), a, Power::from_milliwatts(mw)).unwrap()
+            })
+            .collect()
+    }
+
+    fn scenario(seed: u64, alpha: f64) -> Scenario {
+        Scenario::builder(HarvestTrace::september_like(seed))
+            .points(paper_points())
+            .alpha(alpha)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matrix_is_bit_identical_to_sequential_runs() {
+        let scenarios = [scenario(11, 1.0), scenario(12, 2.0)];
+        let policies = [Policy::Reap, Policy::Static(1), Policy::Static(5)];
+        let matrix = run_matrix(&scenarios, &policies).unwrap();
+        assert_eq!(matrix.len(), scenarios.len());
+        for (s, row) in scenarios.iter().zip(&matrix) {
+            assert_eq!(row.len(), policies.len());
+            for (&policy, report) in policies.iter().zip(row) {
+                assert_eq!(report, &s.run(policy).unwrap(), "{policy} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_handles_closed_loop_scenarios() {
+        let closed = Scenario::builder(HarvestTrace::september_like(13))
+            .points(paper_points())
+            .budget_mode(BudgetMode::ClosedLoop)
+            .build()
+            .unwrap();
+        let matrix = run_matrix(std::slice::from_ref(&closed), &[Policy::Reap]).unwrap();
+        assert_eq!(matrix[0][0], closed.run(Policy::Reap).unwrap());
+    }
+
+    #[test]
+    fn matrix_propagates_unknown_point_errors() {
+        let err = run_matrix(&[scenario(14, 1.0)], &[Policy::Reap, Policy::Static(99)]);
+        assert!(matches!(err, Err(SimError::Core(_))));
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_matrices() {
+        assert!(run_matrix(&[], &[Policy::Reap]).unwrap().is_empty());
+        let rows = run_matrix(&[scenario(15, 1.0)], &[]).unwrap();
+        assert_eq!(rows, vec![Vec::new()]);
+    }
+}

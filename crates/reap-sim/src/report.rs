@@ -1,9 +1,12 @@
 //! Simulation reports and cross-policy comparisons.
 
+use std::borrow::Cow;
 use std::fmt;
 
 use reap_core::Schedule;
 use reap_units::{Energy, TimeSpan};
+
+use crate::Policy;
 
 /// Everything that happened in one simulated hour.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,18 +56,22 @@ impl HourRecord {
 }
 
 /// The result of simulating one policy over a whole trace.
+///
+/// Stores the [`Policy`] value itself (`Copy`) and the allocator's
+/// `&'static str` name rather than owned strings — a matrix run produces
+/// one report per (scenario, policy) pair and should not allocate names.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
-    policy: String,
-    allocator: String,
+    policy: Policy,
+    allocator: &'static str,
     alpha: f64,
     hours: Vec<HourRecord>,
 }
 
 impl SimReport {
     pub(crate) fn new(
-        policy: String,
-        allocator: String,
+        policy: Policy,
+        allocator: &'static str,
         alpha: f64,
         hours: Vec<HourRecord>,
     ) -> SimReport {
@@ -76,16 +83,22 @@ impl SimReport {
         }
     }
 
+    /// The simulated policy.
+    #[must_use]
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
     /// Name of the simulated policy (`"REAP"` or `"DPk"`).
     #[must_use]
-    pub fn policy_name(&self) -> &str {
-        &self.policy
+    pub fn policy_name(&self) -> Cow<'static, str> {
+        self.policy.name()
     }
 
     /// Name of the budget allocator used.
     #[must_use]
-    pub fn allocator_name(&self) -> &str {
-        &self.allocator
+    pub fn allocator_name(&self) -> &'static str {
+        self.allocator
     }
 
     /// The `alpha` the planner optimized for.
@@ -259,7 +272,7 @@ mod tests {
     #[test]
     fn report_aggregates() {
         let hours: Vec<HourRecord> = (0..48).map(|i| hour_record(i / 24, 1.0)).collect();
-        let r = SimReport::new("REAP".into(), "ewma".into(), 1.0, hours);
+        let r = SimReport::new(Policy::Reap, "ewma", 1.0, hours);
         assert_eq!(r.days(), 2);
         assert!((r.total_objective(1.0) - 48.0 * 0.9).abs() < 1e-9);
         assert!((r.mean_accuracy() - 0.9).abs() < 1e-9);
@@ -272,14 +285,14 @@ mod tests {
     #[test]
     fn normalized_daily_ratios() {
         let ours = SimReport::new(
-            "REAP".into(),
-            "ewma".into(),
+            Policy::Reap,
+            "ewma",
             1.0,
             (0..24).map(|_| hour_record(0, 1.0)).collect(),
         );
         let theirs = SimReport::new(
-            "DP1".into(),
-            "ewma".into(),
+            Policy::Static(1),
+            "ewma",
             1.0,
             (0..24).map(|_| hour_record(0, 0.5)).collect(),
         );
@@ -289,8 +302,8 @@ mod tests {
         assert!((max - 2.0).abs() < 1e-9);
         // Zero baseline -> None.
         let dead = SimReport::new(
-            "DP1".into(),
-            "ewma".into(),
+            Policy::Static(1),
+            "ewma",
             1.0,
             (0..24).map(|_| hour_record(0, 0.0)).collect(),
         );
@@ -300,8 +313,8 @@ mod tests {
     #[test]
     fn csv_has_header_and_one_row_per_hour() {
         let r = SimReport::new(
-            "REAP".into(),
-            "ewma".into(),
+            Policy::Reap,
+            "ewma",
             1.0,
             (0..24).map(|_| hour_record(0, 1.0)).collect(),
         );
@@ -315,8 +328,8 @@ mod tests {
     #[test]
     fn display_summarizes() {
         let r = SimReport::new(
-            "REAP".into(),
-            "ewma".into(),
+            Policy::Reap,
+            "ewma",
             1.0,
             (0..24).map(|_| hour_record(0, 1.0)).collect(),
         );

@@ -110,19 +110,21 @@ impl Scenario {
 
     /// Runs REAP and every static point, returning
     /// `(reap, statics-in-problem-order)`. Convenience for comparison
-    /// figures.
+    /// figures; delegates to [`run_matrix`](crate::run_matrix), so the
+    /// policies run in parallel against one shared open-loop budget
+    /// sequence.
     ///
     /// # Errors
     ///
     /// Same as [`Scenario::run`].
     pub fn run_all(&self) -> Result<(SimReport, Vec<SimReport>), SimError> {
-        let reap = self.run(Policy::Reap)?;
-        let statics = self
-            .problem
-            .points()
-            .iter()
-            .map(|p| self.run(Policy::Static(p.id())))
-            .collect::<Result<Vec<_>, _>>()?;
+        let mut policies = vec![Policy::Reap];
+        policies.extend(self.problem.points().iter().map(|p| Policy::Static(p.id())));
+        let mut row = crate::run_matrix(std::slice::from_ref(self), &policies)?
+            .pop()
+            .expect("one scenario in, one row out");
+        let statics = row.split_off(1);
+        let reap = row.pop().expect("REAP report");
         Ok((reap, statics))
     }
 }

@@ -9,6 +9,14 @@
 //! reports — just honest wall-clock numbers suitable for spotting
 //! order-of-magnitude regressions in CI logs.
 //!
+//! Machine-readable output: set `CRITERION_JSON=<path>` and every
+//! completed [`Criterion`] appends its measurements to `<path>` as JSON
+//! lines (`{"label": ..., "mean_ns": ..., "min_ns": ..., "iterations":
+//! ...}`), so CI can track the perf trajectory without scraping logs. The
+//! standalone [`measure`] helper runs the same warmup/batch loop directly
+//! for harnesses (like `reap-bench`'s `bench_planner`) that assemble their
+//! own reports.
+//!
 //! [`criterion_group!`]: macro.criterion_group.html
 //! [`criterion_main!`]: macro.criterion_main.html
 
@@ -16,6 +24,7 @@
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Target accumulated measurement time per benchmark.
@@ -23,15 +32,50 @@ const MEASURE_BUDGET: Duration = Duration::from_millis(60);
 /// Warmup budget per benchmark.
 const WARMUP_BUDGET: Duration = Duration::from_millis(10);
 
+/// One completed benchmark measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Full benchmark label (`group/function/param`).
+    pub label: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest observed batch, per iteration, in nanoseconds.
+    pub min_ns: f64,
+    /// Total iterations timed.
+    pub iterations: u64,
+}
+
+impl Measurement {
+    /// Renders the measurement as a JSON object (no external serializer;
+    /// labels are ASCII benchmark ids, escaped minimally).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let escaped: String = self
+            .label
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        format!(
+            "{{\"label\": \"{escaped}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iterations\": {}}}",
+            self.mean_ns, self.min_ns, self.iterations
+        )
+    }
+}
+
 /// Entry point handed to benchmark functions by [`criterion_group!`].
 #[derive(Debug, Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
 
 impl Criterion {
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             name: name.into(),
         }
     }
@@ -41,14 +85,45 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(&id.into().label, &mut routine);
+        let m = run_benchmark(&id.into().label, &mut routine);
+        self.results.push(m);
         self
+    }
+
+    /// Every measurement this `Criterion` has completed, in run order.
+    #[must_use]
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+impl Drop for Criterion {
+    /// Appends the run's measurements to the `CRITERION_JSON` file (one
+    /// JSON object per line) when that variable is set.
+    fn drop(&mut self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        if path.is_empty() || self.results.is_empty() {
+            return;
+        }
+        let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        else {
+            eprintln!("criterion shim: cannot open CRITERION_JSON={path}");
+            return;
+        };
+        for m in &self.results {
+            let _ = writeln!(file, "{}", m.to_json());
+        }
     }
 }
 
 /// A named collection of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'c> {
-    _criterion: &'c mut Criterion,
+    criterion: &'c mut Criterion,
     name: String,
 }
 
@@ -65,7 +140,8 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into().label);
-        run_benchmark(&label, &mut routine);
+        let m = run_benchmark(&label, &mut routine);
+        self.criterion.results.push(m);
         self
     }
 
@@ -80,7 +156,8 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.into().label);
-        run_benchmark(&label, &mut |bencher: &mut Bencher| routine(bencher, input));
+        let m = run_benchmark(&label, &mut |bencher: &mut Bencher| routine(bencher, input));
+        self.criterion.results.push(m);
         self
     }
 
@@ -171,12 +248,17 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, routine: &mut F) {
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, routine: &mut F) -> Measurement {
     let mut bencher = Bencher::new();
     routine(&mut bencher);
     if bencher.iterations == 0 {
         println!("{label:<44} (no iterations)");
-        return;
+        return Measurement {
+            label: label.to_owned(),
+            mean_ns: 0.0,
+            min_ns: 0.0,
+            iterations: 0,
+        };
     }
     let mean = bencher.total.as_nanos() / u128::from(bencher.iterations);
     println!(
@@ -185,6 +267,35 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, routine: &mut F) {
         format_ns(bencher.min.as_nanos()),
         bencher.iterations
     );
+    Measurement {
+        label: label.to_owned(),
+        mean_ns: bencher.total.as_nanos() as f64 / bencher.iterations as f64,
+        min_ns: bencher.min.as_nanos() as f64,
+        iterations: bencher.iterations,
+    }
+}
+
+/// Runs the shim's warmup/batch timing loop on `routine` directly and
+/// returns the measurement without printing. For harnesses that build
+/// their own reports (e.g. machine-readable perf baselines).
+pub fn measure<O, R: FnMut() -> O>(label: impl Into<String>, routine: R) -> Measurement {
+    let mut bencher = Bencher::new();
+    let mut routine = routine;
+    bencher.iter(&mut routine);
+    Measurement {
+        label: label.into(),
+        mean_ns: if bencher.iterations == 0 {
+            0.0
+        } else {
+            bencher.total.as_nanos() as f64 / bencher.iterations as f64
+        },
+        min_ns: if bencher.iterations == 0 {
+            0.0
+        } else {
+            bencher.min.as_nanos() as f64
+        },
+        iterations: bencher.iterations,
+    }
 }
 
 fn format_ns(nanos: u128) -> String {
