@@ -1,0 +1,121 @@
+//! Fleet-scale simulation baseline: thousands of seeded synthetic users
+//! sharded across all four harvest sources, reduced to population
+//! percentiles and written as machine-readable JSON (`BENCH_fleet.json`)
+//! so CI tracks both the population statistics and the fleet throughput.
+//!
+//! ```text
+//! cargo run --release -p reap-bench --bin fleet [-- <output.json>] [--quick]
+//! ```
+//!
+//! The committed `BENCH_fleet.json` at the repo root is the baseline
+//! recorded when the fleet simulator landed; regenerate it with the
+//! command above after any harvest-source, engine, or aggregation change.
+//! `--quick` shrinks the population for smoke runs (CI still uses the
+//! full 2000 users).
+
+use reap_bench::{has_quick_flag, CharMode};
+use reap_sim::{Fleet, FleetReport, Percentiles};
+
+/// Users in the baseline fleet. Two thousand keeps the run under a couple
+/// of seconds in release while giving percentiles a stable tail.
+const FLEET_USERS: u32 = 2000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = has_quick_flag(&args);
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    let users = if quick { 64 } else { FLEET_USERS };
+
+    let fleet = Fleet::builder(reap_bench::operating_points(CharMode::Paper, true))
+        .users(users)
+        .seed(reap_bench::BENCH_SEED)
+        .build()
+        .expect("valid fleet");
+
+    println!(
+        "fleet baseline: {} users x {} days across {} harvest sources ({out_path})",
+        fleet.users(),
+        fleet.days(),
+        fleet.sources().len()
+    );
+    println!("=============================================================");
+
+    let start = std::time::Instant::now();
+    let report = fleet.run().expect("fleet runs");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let users_per_s = f64::from(report.users()) / (wall_ms / 1e3);
+
+    // The determinism guarantee the fleet tests pin down, re-asserted on
+    // the full population: a single-threaded run must reproduce the
+    // parallel aggregate bit for bit.
+    let single = fleet
+        .run_with_threads(Some(std::num::NonZeroUsize::MIN))
+        .expect("fleet runs single-threaded");
+    assert_eq!(
+        single, report,
+        "single-threaded fleet diverged from parallel run"
+    );
+
+    println!("accuracy        : {}", report.accuracy());
+    println!("active fraction : {}", report.active_fraction());
+    for slice in report.per_source() {
+        println!(
+            "{:>14} : {:>4} users, mean accuracy {:.3}, mean active {:.3}, {:>7.1} J harvested",
+            slice.kind.label(),
+            slice.users,
+            slice.mean_accuracy,
+            slice.mean_active_fraction,
+            slice.mean_harvested_j
+        );
+    }
+    println!(
+        "wall time {wall_ms:.0} ms ({users_per_s:.0} users/s), {} brownout hours fleet-wide",
+        report.brownout_hours()
+    );
+
+    std::fs::write(&out_path, to_json(&report, wall_ms, users_per_s)).expect("writable output");
+    println!("wrote {out_path}");
+}
+
+fn percentiles_json(p: Percentiles) -> String {
+    format!(
+        "{{\"p5\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}}}",
+        p.p5, p.p50, p.p95
+    )
+}
+
+fn to_json(report: &FleetReport, wall_ms: f64, users_per_s: f64) -> String {
+    let mut json = format!(
+        "{{\n  \"schema\": \"reap-bench/fleet-v1\",\n  \"users\": {},\n  \"days\": {},\n  \
+         \"accuracy\": {},\n  \"active_fraction\": {},\n  \"mean_accuracy\": {:.4},\n  \
+         \"mean_active_fraction\": {:.4},\n  \"brownout_hours\": {},\n  \"per_source\": [\n",
+        report.users(),
+        report.days(),
+        percentiles_json(report.accuracy()),
+        percentiles_json(report.active_fraction()),
+        report.mean_accuracy(),
+        report.mean_active_fraction(),
+        report.brownout_hours(),
+    );
+    let slices = report.per_source();
+    for (i, s) in slices.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"source\": \"{}\", \"users\": {}, \"mean_accuracy\": {:.4}, \
+             \"mean_active_fraction\": {:.4}, \"mean_harvested_j\": {:.1}}}{}\n",
+            s.kind.label(),
+            s.users,
+            s.mean_accuracy,
+            s.mean_active_fraction,
+            s.mean_harvested_j,
+            if i + 1 < slices.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"wall_ms\": {wall_ms:.0},\n  \"users_per_s\": {users_per_s:.0}\n}}\n"
+    ));
+    json
+}

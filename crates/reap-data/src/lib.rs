@@ -38,6 +38,7 @@ mod activity;
 mod dataset;
 pub mod diagnostics;
 mod noise;
+mod routine;
 mod stretch;
 mod user;
 mod waveform;
@@ -45,5 +46,6 @@ mod window;
 
 pub use activity::Activity;
 pub use dataset::{Dataset, Split};
+pub use routine::{ActivityMix, DailyRoutine};
 pub use user::UserProfile;
 pub use window::{ActivityWindow, SAMPLE_RATE_HZ, WINDOW_SAMPLES, WINDOW_SECONDS};

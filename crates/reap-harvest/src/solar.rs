@@ -1,9 +1,12 @@
-//! Clear-sky solar geometry and stochastic weather.
+//! Outdoor solar harvesting: clear-sky geometry, stochastic weather, and
+//! the [`SolarSource`] that composes them into a [`HarvestSource`].
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::HarvestError;
+use reap_units::Energy;
+
+use crate::{HarvestError, HarvestSource, SolarPanel};
 
 /// Latitude of NREL's Solar Radiation Research Laboratory in Golden,
 /// Colorado — the measurement site of the paper's harvesting data.
@@ -183,9 +186,93 @@ impl WeatherModel {
     }
 }
 
+/// The outdoor-solar [`HarvestSource`]: clear-sky irradiance attenuated by
+/// a seeded weather stream and converted by a wearable panel.
+///
+/// This is the source the paper's Fig. 7 case study uses;
+/// [`HarvestTrace::september_like`](crate::HarvestTrace::september_like)
+/// is a shorthand for generating a September month from it.
+///
+/// # Examples
+///
+/// ```
+/// use reap_harvest::{HarvestSource, SolarSource};
+///
+/// let source = SolarSource::september_wearable(7);
+/// // Clear noons harvest joules; solar midnight harvests nothing.
+/// assert!(source.hourly_energy(244, 0, 12).joules() > 0.5);
+/// assert_eq!(source.hourly_energy(244, 0, 0).joules(), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolarSource {
+    model: SolarModel,
+    weather: WeatherModel,
+    panel: SolarPanel,
+}
+
+impl SolarSource {
+    /// Composes a solar geometry model, weather stream, and panel.
+    #[must_use]
+    pub fn new(model: SolarModel, weather: WeatherModel, panel: SolarPanel) -> SolarSource {
+        SolarSource {
+            model,
+            weather,
+            panel,
+        }
+    }
+
+    /// The paper's evaluation setting: Golden, Colorado geometry, a
+    /// seeded weather stream, and the calibrated SP3-37-class wearable
+    /// panel.
+    #[must_use]
+    pub fn september_wearable(seed: u64) -> SolarSource {
+        SolarSource::new(
+            SolarModel::golden_colorado(),
+            WeatherModel::new(seed),
+            SolarPanel::sp3_37_wearable(),
+        )
+    }
+}
+
+impl HarvestSource for SolarSource {
+    fn name(&self) -> &'static str {
+        "outdoor-solar"
+    }
+
+    fn hourly_energy(&self, day_of_year: u32, day_index: u32, hour: u32) -> Energy {
+        // Mid-hour irradiance approximates the hourly integral.
+        let clear = self
+            .model
+            .clear_sky_irradiance(day_of_year, f64::from(hour) + 0.5);
+        let seen = clear * self.weather.transmittance(day_index, hour);
+        self.panel.hourly_energy(seen)
+    }
+
+    fn is_photovoltaic(&self) -> bool {
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn solar_source_matches_manual_composition() {
+        let source = SolarSource::september_wearable(11);
+        let model = SolarModel::golden_colorado();
+        let weather = WeatherModel::new(11);
+        let panel = SolarPanel::sp3_37_wearable();
+        for hour in 0..24 {
+            let direct = panel.hourly_energy(
+                model.clear_sky_irradiance(244, f64::from(hour) + 0.5)
+                    * weather.transmittance(0, hour),
+            );
+            assert_eq!(source.hourly_energy(244, 0, hour), direct);
+        }
+        assert_eq!(source.name(), "outdoor-solar");
+        assert!(source.is_photovoltaic());
+    }
 
     #[test]
     fn latitude_validation() {

@@ -2,14 +2,17 @@
 
 use reap_units::Energy;
 
-use crate::{HarvestError, SolarModel, SolarPanel, WeatherModel};
+use crate::{HarvestError, HarvestSource, SolarModel, SolarPanel, SolarSource, WeatherModel};
 
 /// A contiguous sequence of hourly harvested energies, starting at
 /// midnight of a given day of year.
 ///
 /// This is the synthetic stand-in for the paper's NREL SRRL measurement
-/// traces: every hour `h` of every day `d` has the energy a wearable panel
-/// harvested during that hour.
+/// traces: every hour `h` of every day `d` has the energy the wearable's
+/// transducer harvested during that hour. Traces are source-agnostic —
+/// any [`HarvestSource`] (outdoor solar, indoor photovoltaic,
+/// thermoelectric, kinetic) produces them via
+/// [`HarvestSource::generate`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct HarvestTrace {
     start_day_of_year: u32,
@@ -43,6 +46,10 @@ impl HarvestTrace {
 
     /// Generates a trace from the solar/weather/panel models.
     ///
+    /// Convenience wrapper over
+    /// [`SolarSource`] + [`HarvestSource::generate`]; other source models
+    /// are generated through the trait directly.
+    ///
     /// # Errors
     ///
     /// [`HarvestError::InvalidParameter`] when `days == 0`.
@@ -53,20 +60,8 @@ impl HarvestTrace {
         start_day_of_year: u32,
         days: u32,
     ) -> Result<HarvestTrace, HarvestError> {
-        if days == 0 {
-            return Err(HarvestError::InvalidParameter("zero days".into()));
-        }
-        let mut hourly = Vec::with_capacity(days as usize * 24);
-        for day in 0..days {
-            let doy = (start_day_of_year + day - 1) % 365 + 1;
-            for hour in 0..24 {
-                // Mid-hour irradiance approximates the hourly integral.
-                let clear = solar.clear_sky_irradiance(doy, f64::from(hour) + 0.5);
-                let seen = clear * weather.transmittance(day, hour);
-                hourly.push(panel.hourly_energy(seen));
-            }
-        }
-        HarvestTrace::new(start_day_of_year, hourly)
+        SolarSource::new(solar.clone(), weather.clone(), panel.clone())
+            .generate(start_day_of_year, days)
     }
 
     /// A September-like month (30 days from day-of-year 244) at Golden,

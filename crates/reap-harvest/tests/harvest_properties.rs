@@ -1,11 +1,11 @@
 //! Property tests for the harvesting substrate: battery conservation
 //! under arbitrary operation sequences, trace invariants across seeds and
-//! seasons, and allocator sanity.
+//! seasons, source-trait contracts, and allocator sanity.
 
 use proptest::prelude::*;
 use reap_harvest::{
     Battery, BudgetAllocator, EwmaAllocator, GreedyAllocator, HarvestTrace, SolarModel, SolarPanel,
-    UniformDailyAllocator, WeatherModel,
+    SourceKind, UniformDailyAllocator, WeatherModel,
 };
 use reap_units::Energy;
 
@@ -97,6 +97,46 @@ proptest! {
         // Same weather stream; the solar geometry alone must separate the
         // seasons.
         prop_assert!(june > december, "june {june} <= december {december}");
+    }
+
+    #[test]
+    fn every_source_is_nonnegative_deterministic_and_pv_dark_at_night(
+        seed in 0u64..300,
+        start_day in 1u32..330,
+    ) {
+        for kind in SourceKind::ALL {
+            let source = kind.instantiate(seed);
+            let trace = source.generate(start_day, 4).expect("valid");
+            // Non-negative, finite, plausible hourly energies everywhere.
+            for e in trace.iter() {
+                prop_assert!(!e.is_negative(), "{} went negative", source.name());
+                prop_assert!(e.is_finite(), "{} not finite", source.name());
+                prop_assert!(
+                    e.joules() < 20.0,
+                    "{} implausible hourly harvest {e}",
+                    source.name()
+                );
+            }
+            // Photovoltaic sources are exactly dark in the dead of night
+            // (light off whatever the season, latitude, or schedule).
+            if source.is_photovoltaic() {
+                for day in 0..trace.days() {
+                    for hour in [0u32, 1, 2, 3, 23] {
+                        prop_assert_eq!(
+                            trace.energy(day, hour),
+                            Energy::ZERO,
+                            "{} harvested at night (day {}, hour {})",
+                            source.name(),
+                            day,
+                            hour
+                        );
+                    }
+                }
+            }
+            // Same seed, same trace — bit-identical.
+            let again = kind.instantiate(seed).generate(start_day, 4).expect("valid");
+            prop_assert_eq!(&trace, &again, "{} not deterministic", source.name());
+        }
     }
 
     #[test]

@@ -1,0 +1,729 @@
+//! Fleet-scale simulation: thousands of seeded synthetic users, each with
+//! their own harvest source, operating points, and preference.
+//!
+//! The paper evaluates REAP on a single solar trace and a single user.
+//! The [`Fleet`] stress-tests the same policies across a *population*:
+//! every user gets a harvest trace from one of the bundled
+//! [`SourceKind`]s (outdoor solar, indoor photovoltaic, thermoelectric,
+//! kinetic), a LOUO-style perturbation of the base operating points
+//! (mirroring the per-wearer accuracy spread that leave-one-user-out
+//! cross-validation measures), and their own energy/accuracy preference
+//! `alpha` — all derived deterministically from one master seed.
+//!
+//! Users are sharded over the [`run_matrix_with_threads`] scoped executor
+//! and reduced to per-user scalars as each shard completes, so memory
+//! stays `O(users)` instead of `O(users × hours)`: no per-user
+//! [`SimReport`] survives the run. The resulting [`FleetReport`] carries
+//! population percentiles (p5/p50/p95) of accuracy and active time, plus
+//! per-source means — and is **bit-identical for every worker-thread
+//! count**, because parallelism only changes which core runs a user,
+//! never the arithmetic or the aggregation order.
+
+use std::fmt;
+use std::num::NonZeroUsize;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reap_core::OperatingPoint;
+use reap_harvest::SourceKind;
+
+use crate::engine::Policy;
+use crate::matrix::run_matrix_with_threads;
+use crate::{AllocatorKind, Scenario, SimError, SimReport};
+
+/// Users per `run_matrix` batch: large enough to keep every worker busy,
+/// small enough that in-flight hour-by-hour reports stay bounded.
+const SHARD_USERS: usize = 256;
+
+/// A population of seeded synthetic users ready to simulate.
+///
+/// Build one with [`Fleet::builder`]; run it with [`Fleet::run`] (or
+/// [`Fleet::run_with_threads`] to pin the worker count). Each user is a
+/// pure function of `(master seed, user index)`, so any individual
+/// scenario can be reconstructed with [`Fleet::user_scenario`] — e.g. to
+/// replay the p5 straggler of a million-user run in isolation.
+///
+/// # Examples
+///
+/// ```
+/// use reap_sim::Fleet;
+///
+/// # fn main() -> Result<(), reap_sim::SimError> {
+/// let fleet = Fleet::builder(reap_device::paper_table2_operating_points())
+///     .users(8)
+///     .days(2)
+///     .seed(42)
+///     .build()?;
+/// let report = fleet.run()?;
+/// assert_eq!(report.users(), 8);
+/// // Percentiles are ordered and accuracies are probabilities.
+/// let acc = report.accuracy();
+/// assert!(0.0 <= acc.p5 && acc.p5 <= acc.p50 && acc.p50 <= acc.p95 && acc.p95 <= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    users: u32,
+    seed: u64,
+    days: u32,
+    start_day_of_year: u32,
+    base_points: Vec<OperatingPoint>,
+    sources: Vec<SourceKind>,
+    alpha_range: (f64, f64),
+    accuracy_spread: f64,
+    allocator: AllocatorKind,
+}
+
+/// Builder for [`Fleet`]; see [`Fleet::builder`].
+#[derive(Debug, Clone)]
+pub struct FleetBuilder {
+    fleet: Fleet,
+}
+
+impl Fleet {
+    /// Starts a builder from the base operating points every user's
+    /// device supports (e.g.
+    /// `reap_device::paper_table2_operating_points()`).
+    ///
+    /// Defaults: 1000 users, seed 0, the paper's September month (30 days
+    /// from day-of-year 244), all four [`SourceKind`]s round-robined
+    /// across users, per-user `alpha` drawn from `[0.5, 2.0)`, a ±3
+    /// percentage-point LOUO-style accuracy spread, and the EWMA
+    /// allocator.
+    #[must_use]
+    pub fn builder(base_points: Vec<OperatingPoint>) -> FleetBuilder {
+        FleetBuilder {
+            fleet: Fleet {
+                users: 1000,
+                seed: 0,
+                days: 30,
+                start_day_of_year: 244,
+                base_points,
+                sources: SourceKind::ALL.to_vec(),
+                alpha_range: (0.5, 2.0),
+                accuracy_spread: 0.03,
+                allocator: AllocatorKind::Ewma,
+            },
+        }
+    }
+
+    /// Number of users in the fleet.
+    #[must_use]
+    pub fn users(&self) -> u32 {
+        self.users
+    }
+
+    /// Simulated days per user.
+    #[must_use]
+    pub fn days(&self) -> u32 {
+        self.days
+    }
+
+    /// The source kinds users are round-robined across.
+    #[must_use]
+    pub fn sources(&self) -> &[SourceKind] {
+        &self.sources
+    }
+
+    /// The harvest source powering user `user`'s device.
+    #[must_use]
+    pub fn user_source(&self, user: u32) -> SourceKind {
+        self.sources[user as usize % self.sources.len()]
+    }
+
+    /// Reconstructs the exact scenario user `user` runs: their harvest
+    /// trace, perturbed operating points, and `alpha` — a pure function
+    /// of the master seed and the index, so any member of a huge fleet
+    /// can be replayed alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harvest/optimizer construction failures
+    /// ([`SimError::Harvest`] / [`SimError::Core`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `user >= self.users()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reap_sim::{Fleet, Policy};
+    ///
+    /// # fn main() -> Result<(), reap_sim::SimError> {
+    /// let fleet = Fleet::builder(reap_device::paper_table2_operating_points())
+    ///     .users(4)
+    ///     .days(1)
+    ///     .build()?;
+    /// // Users cycle through the bundled sources…
+    /// assert_ne!(fleet.user_source(0), fleet.user_source(1));
+    /// // …and any user's month is individually replayable.
+    /// let report = fleet.user_scenario(2)?.run(Policy::Reap)?;
+    /// assert_eq!(report.days(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn user_scenario(&self, user: u32) -> Result<Scenario, SimError> {
+        assert!(
+            user < self.users,
+            "user {user} >= fleet size {}",
+            self.users
+        );
+        let kind = self.user_source(user);
+        // Trace seed: user-distinct but stable under fleet resizing.
+        let trace_seed = self
+            .seed
+            .wrapping_add(u64::from(user).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let trace = kind
+            .instantiate(trace_seed)
+            .generate(self.start_day_of_year, self.days)?;
+
+        // LOUO-style perturbation: shift every point's accuracy by a
+        // per-user offset pattern, mimicking the spread leave-one-user-out
+        // folds show around the pooled accuracy (see `ablation_louo`).
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                .wrapping_add(u64::from(user)),
+        );
+        let spread = self.accuracy_spread;
+        let points = self
+            .base_points
+            .iter()
+            .map(|p| {
+                let delta = if spread > 0.0 {
+                    rng.gen_range(-spread..spread)
+                } else {
+                    0.0
+                };
+                let accuracy = (p.accuracy() + delta).clamp(0.02, 0.995);
+                OperatingPoint::new(p.id(), p.label(), accuracy, p.power())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let (lo, hi) = self.alpha_range;
+        let alpha = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+
+        Scenario::builder(trace)
+            .points(points)
+            .alpha(alpha)
+            .allocator(self.allocator)
+            .build()
+    }
+
+    /// Simulates the whole fleet under [`Policy::Reap`], sharding users
+    /// over all available cores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-user construction or engine failure, in
+    /// user order.
+    pub fn run(&self) -> Result<FleetReport, SimError> {
+        self.run_with_threads(None)
+    }
+
+    /// [`Fleet::run`] with an explicit worker-thread cap (`None` = the
+    /// machine's available parallelism). The report is **bit-identical
+    /// for every thread count** — the property the fleet determinism
+    /// tests pin down.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Fleet::run`].
+    pub fn run_with_threads(
+        &self,
+        max_threads: Option<NonZeroUsize>,
+    ) -> Result<FleetReport, SimError> {
+        let mut acc = FleetAccumulator::new(self);
+        let policies = [Policy::Reap];
+        let mut user = 0u32;
+        while user < self.users {
+            let shard_end = (user + SHARD_USERS as u32).min(self.users);
+            let scenarios = (user..shard_end)
+                .map(|u| self.user_scenario(u))
+                .collect::<Result<Vec<_>, _>>()?;
+            let rows = run_matrix_with_threads(&scenarios, &policies, max_threads)?;
+            for (offset, row) in rows.iter().enumerate() {
+                acc.absorb(user + offset as u32, &row[0]);
+            }
+            // `rows` (and the shard's hour-by-hour reports) drop here:
+            // only the per-user scalars inside `acc` survive.
+            user = shard_end;
+        }
+        Ok(acc.finish())
+    }
+}
+
+impl FleetBuilder {
+    /// Sets the number of users (default 1000).
+    #[must_use]
+    pub fn users(mut self, users: u32) -> Self {
+        self.fleet.users = users;
+        self
+    }
+
+    /// Sets the master seed every per-user stream derives from
+    /// (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.fleet.seed = seed;
+        self
+    }
+
+    /// Sets the simulated days per user (default 30).
+    #[must_use]
+    pub fn days(mut self, days: u32) -> Self {
+        self.fleet.days = days;
+        self
+    }
+
+    /// Sets the 1-based calendar day traces start on (default 244, the
+    /// paper's September).
+    #[must_use]
+    pub fn start_day_of_year(mut self, day: u32) -> Self {
+        self.fleet.start_day_of_year = day;
+        self
+    }
+
+    /// Sets the harvest sources users are round-robined across (default:
+    /// all of [`SourceKind::ALL`]).
+    #[must_use]
+    pub fn sources(mut self, sources: Vec<SourceKind>) -> Self {
+        self.fleet.sources = sources;
+        self
+    }
+
+    /// Sets the half-open `[lo, hi)` range per-user `alpha`s are drawn
+    /// from (default `[0.5, 2.0)`); `lo == hi` pins every user to `lo`.
+    #[must_use]
+    pub fn alpha_range(mut self, lo: f64, hi: f64) -> Self {
+        self.fleet.alpha_range = (lo, hi);
+        self
+    }
+
+    /// Sets the LOUO-style per-user accuracy perturbation half-width, in
+    /// accuracy units (default 0.03, i.e. ±3 percentage points).
+    #[must_use]
+    pub fn accuracy_spread(mut self, spread: f64) -> Self {
+        self.fleet.accuracy_spread = spread;
+        self
+    }
+
+    /// Sets the budget allocator every user runs (default: EWMA).
+    #[must_use]
+    pub fn allocator(mut self, allocator: AllocatorKind) -> Self {
+        self.fleet.allocator = allocator;
+        self
+    }
+
+    /// Validates and builds the fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidParameter`] when the fleet is empty (no users,
+    /// no days, no sources, no operating points) or a numeric parameter
+    /// is out of range.
+    pub fn build(self) -> Result<Fleet, SimError> {
+        let f = &self.fleet;
+        if f.users == 0 {
+            return Err(SimError::InvalidParameter("zero users".into()));
+        }
+        if f.days == 0 {
+            return Err(SimError::InvalidParameter("zero days".into()));
+        }
+        if !(1..=365).contains(&f.start_day_of_year) {
+            return Err(SimError::InvalidParameter(format!(
+                "start day of year {} outside 1..=365",
+                f.start_day_of_year
+            )));
+        }
+        if f.sources.is_empty() {
+            return Err(SimError::InvalidParameter("no harvest sources".into()));
+        }
+        if f.base_points.is_empty() {
+            return Err(SimError::InvalidParameter("no operating points".into()));
+        }
+        let (lo, hi) = f.alpha_range;
+        if !lo.is_finite() || !hi.is_finite() || lo < 0.0 || hi < lo {
+            return Err(SimError::InvalidParameter(format!(
+                "alpha range [{lo}, {hi}) must satisfy 0 <= lo <= hi"
+            )));
+        }
+        if !f.accuracy_spread.is_finite() || !(0.0..0.5).contains(&f.accuracy_spread) {
+            return Err(SimError::InvalidParameter(format!(
+                "accuracy spread {} outside [0, 0.5)",
+                f.accuracy_spread
+            )));
+        }
+        Ok(self.fleet)
+    }
+}
+
+/// p5/p50/p95 of one per-user metric across the fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// 5th percentile — the stragglers.
+    pub p5: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile — the best-served users.
+    pub p95: f64,
+}
+
+impl Percentiles {
+    /// Linear-interpolation percentiles of `values` (need not be sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values` is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reap_sim::Percentiles;
+    ///
+    /// let p = Percentiles::of(vec![4.0, 1.0, 2.0, 3.0, 0.0]);
+    /// assert_eq!(p.p50, 2.0);
+    /// assert!((p.p95 - 3.8).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn of(mut values: Vec<f64>) -> Percentiles {
+        assert!(!values.is_empty(), "percentiles of an empty population");
+        values.sort_by(f64::total_cmp);
+        let at = |q: f64| {
+            let rank = q * (values.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            values[lo] + (values[hi] - values[lo]) * (rank - lo as f64)
+        };
+        Percentiles {
+            p5: at(0.05),
+            p50: at(0.50),
+            p95: at(0.95),
+        }
+    }
+}
+
+impl fmt::Display for Percentiles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "p5 {:.3} / p50 {:.3} / p95 {:.3}",
+            self.p5, self.p50, self.p95
+        )
+    }
+}
+
+/// Aggregate outcome for the users of one [`SourceKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceSlice {
+    /// The harvest source these users carry.
+    pub kind: SourceKind,
+    /// How many fleet users run on this source.
+    pub users: u32,
+    /// Mean per-user realized accuracy.
+    pub mean_accuracy: f64,
+    /// Mean per-user active-time fraction (realized active time over the
+    /// whole trace duration).
+    pub mean_active_fraction: f64,
+    /// Mean per-user total harvested energy over the trace, in joules.
+    pub mean_harvested_j: f64,
+}
+
+/// Population-level outcome of a [`Fleet::run`].
+///
+/// Holds only aggregates — percentiles over per-user scalars and
+/// per-source means — never the per-user [`SimReport`]s, so a
+/// million-user report is as small as a ten-user one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    users: u32,
+    days: u32,
+    accuracy: Percentiles,
+    active_fraction: Percentiles,
+    mean_accuracy: f64,
+    mean_active_fraction: f64,
+    brownout_hours: u64,
+    per_source: Vec<SourceSlice>,
+}
+
+impl FleetReport {
+    /// Number of users simulated.
+    #[must_use]
+    pub fn users(&self) -> u32 {
+        self.users
+    }
+
+    /// Simulated days per user.
+    #[must_use]
+    pub fn days(&self) -> u32 {
+        self.days
+    }
+
+    /// Percentiles of per-user mean realized accuracy.
+    #[must_use]
+    pub fn accuracy(&self) -> Percentiles {
+        self.accuracy
+    }
+
+    /// Percentiles of per-user active-time fraction (realized active time
+    /// over the whole trace duration, in `[0, 1]`).
+    #[must_use]
+    pub fn active_fraction(&self) -> Percentiles {
+        self.active_fraction
+    }
+
+    /// Fleet-wide mean of the per-user mean accuracies.
+    #[must_use]
+    pub fn mean_accuracy(&self) -> f64 {
+        self.mean_accuracy
+    }
+
+    /// Fleet-wide mean of the per-user active-time fractions.
+    #[must_use]
+    pub fn mean_active_fraction(&self) -> f64 {
+        self.mean_active_fraction
+    }
+
+    /// Total brownout hours across every user.
+    #[must_use]
+    pub fn brownout_hours(&self) -> u64 {
+        self.brownout_hours
+    }
+
+    /// Per-source aggregates, in the fleet's source order.
+    #[must_use]
+    pub fn per_source(&self) -> &[SourceSlice] {
+        &self.per_source
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fleet of {} users x {} days: accuracy {}, active fraction {}, {} brownout hours",
+            self.users, self.days, self.accuracy, self.active_fraction, self.brownout_hours,
+        )
+    }
+}
+
+/// Streaming reducer from per-user [`SimReport`]s to the [`FleetReport`]
+/// aggregates. Users are absorbed in index order whatever the thread
+/// count, so the output is deterministic.
+struct FleetAccumulator {
+    days: u32,
+    sources: Vec<SourceKind>,
+    accuracies: Vec<f64>,
+    active_fractions: Vec<f64>,
+    brownout_hours: u64,
+    // Per source-slot: (users, accuracy sum, active-fraction sum, harvested J sum).
+    source_sums: Vec<(u32, f64, f64, f64)>,
+}
+
+impl FleetAccumulator {
+    fn new(fleet: &Fleet) -> FleetAccumulator {
+        FleetAccumulator {
+            days: fleet.days,
+            sources: fleet.sources.clone(),
+            accuracies: Vec::with_capacity(fleet.users as usize),
+            active_fractions: Vec::with_capacity(fleet.users as usize),
+            brownout_hours: 0,
+            source_sums: vec![(0, 0.0, 0.0, 0.0); fleet.sources.len()],
+        }
+    }
+
+    fn absorb(&mut self, user: u32, report: &SimReport) {
+        let trace_hours = f64::from(self.days) * 24.0;
+        let accuracy = report.mean_accuracy();
+        let active_fraction = report.total_active_time().hours() / trace_hours;
+        self.accuracies.push(accuracy);
+        self.active_fractions.push(active_fraction);
+        self.brownout_hours += report.brownout_hours() as u64;
+        let slot = &mut self.source_sums[user as usize % self.sources.len()];
+        slot.0 += 1;
+        slot.1 += accuracy;
+        slot.2 += active_fraction;
+        slot.3 += report.total_harvested().joules();
+    }
+
+    fn finish(self) -> FleetReport {
+        let users = self.accuracies.len() as u32;
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let per_source = self
+            .sources
+            .iter()
+            .zip(&self.source_sums)
+            .map(|(&kind, &(n, acc, active, harvested))| {
+                let d = f64::from(n.max(1));
+                SourceSlice {
+                    kind,
+                    users: n,
+                    mean_accuracy: acc / d,
+                    mean_active_fraction: active / d,
+                    mean_harvested_j: harvested / d,
+                }
+            })
+            .collect();
+        FleetReport {
+            users,
+            days: self.days,
+            mean_accuracy: mean(&self.accuracies),
+            mean_active_fraction: mean(&self.active_fractions),
+            accuracy: Percentiles::of(self.accuracies),
+            active_fraction: Percentiles::of(self.active_fractions),
+            brownout_hours: self.brownout_hours,
+            per_source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reap_units::Power;
+
+    fn base_points() -> Vec<OperatingPoint> {
+        vec![
+            OperatingPoint::new(1, "DP1", 0.94, Power::from_milliwatts(2.76)).unwrap(),
+            OperatingPoint::new(5, "DP5", 0.76, Power::from_milliwatts(1.20)).unwrap(),
+        ]
+    }
+
+    fn small_fleet(users: u32, days: u32) -> Fleet {
+        Fleet::builder(base_points())
+            .users(users)
+            .days(days)
+            .seed(7)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_fleets() {
+        assert!(Fleet::builder(base_points()).users(0).build().is_err());
+        assert!(Fleet::builder(base_points()).days(0).build().is_err());
+        assert!(Fleet::builder(base_points())
+            .start_day_of_year(0)
+            .build()
+            .is_err());
+        assert!(Fleet::builder(base_points())
+            .start_day_of_year(366)
+            .build()
+            .is_err());
+        assert!(Fleet::builder(base_points())
+            .sources(Vec::new())
+            .build()
+            .is_err());
+        assert!(Fleet::builder(Vec::new()).build().is_err());
+        assert!(Fleet::builder(base_points())
+            .alpha_range(2.0, 1.0)
+            .build()
+            .is_err());
+        assert!(Fleet::builder(base_points())
+            .alpha_range(f64::NAN, 1.0)
+            .build()
+            .is_err());
+        assert!(Fleet::builder(base_points())
+            .accuracy_spread(0.7)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn users_round_robin_across_all_sources() {
+        let fleet = small_fleet(9, 1);
+        for (user, kind) in SourceKind::ALL.iter().enumerate() {
+            assert_eq!(fleet.user_source(user as u32), *kind);
+            assert_eq!(fleet.user_source(user as u32 + 4), *kind);
+        }
+    }
+
+    #[test]
+    fn user_scenarios_are_deterministic_and_personalized() {
+        let fleet = small_fleet(8, 1);
+        let a = fleet.user_scenario(5).unwrap();
+        let b = fleet.user_scenario(5).unwrap();
+        assert_eq!(a.problem().alpha(), b.problem().alpha());
+        assert_eq!(a.trace(), b.trace());
+        assert_eq!(a.problem().points(), b.problem().points());
+        // Different users get different alphas and perturbed accuracies.
+        let c = fleet.user_scenario(1).unwrap();
+        assert_ne!(a.problem().alpha(), c.problem().alpha());
+        assert_ne!(
+            a.problem().points()[0].accuracy(),
+            c.problem().points()[0].accuracy()
+        );
+        // The perturbation stays within the configured spread.
+        for user in 0..8 {
+            let s = fleet.user_scenario(user).unwrap();
+            for (p, base) in s.problem().points().iter().zip(base_points()) {
+                assert!((p.accuracy() - base.accuracy()).abs() <= 0.03 + 1e-12);
+                assert_eq!(p.power(), base.power());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = ">= fleet size")]
+    fn user_index_out_of_range_panics() {
+        let _ = small_fleet(2, 1).user_scenario(2);
+    }
+
+    #[test]
+    fn report_aggregates_are_consistent() {
+        let fleet = small_fleet(10, 2);
+        let report = fleet.run().unwrap();
+        assert_eq!(report.users(), 10);
+        assert_eq!(report.days(), 2);
+        let acc = report.accuracy();
+        assert!(acc.p5 <= acc.p50 && acc.p50 <= acc.p95);
+        assert!(acc.p5 >= 0.0 && acc.p95 <= 1.0);
+        let active = report.active_fraction();
+        assert!(active.p5 <= active.p50 && active.p50 <= active.p95);
+        assert!(active.p5 >= 0.0 && active.p95 <= 1.0);
+        assert!(acc.p5 <= report.mean_accuracy() && report.mean_accuracy() <= acc.p95);
+        let per_source_users: u32 = report.per_source().iter().map(|s| s.users).sum();
+        assert_eq!(per_source_users, 10);
+        for slice in report.per_source() {
+            assert!(slice.users > 0, "{} unused", slice.kind);
+            assert!(
+                slice.mean_harvested_j > 0.0,
+                "{} harvested nothing",
+                slice.kind
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_report_is_bit_identical_across_thread_counts() {
+        // Mirrors the `run_matrix` guarantee one level up: sharding users
+        // over 1, 2, or many workers must not change a single bit of the
+        // aggregate percentiles.
+        let fleet = small_fleet(13, 2);
+        let unbounded = fleet.run().unwrap();
+        for threads in [1usize, 2, 5] {
+            let capped = fleet
+                .run_with_threads(Some(NonZeroUsize::new(threads).unwrap()))
+                .unwrap();
+            assert_eq!(capped, unbounded, "{threads}-thread fleet run diverged");
+        }
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let p = Percentiles::of(vec![4.0, 1.0, 2.0, 3.0, 0.0]);
+        assert!((p.p50 - 2.0).abs() < 1e-12);
+        assert!((p.p5 - 0.2).abs() < 1e-12);
+        assert!((p.p95 - 3.8).abs() < 1e-12);
+        let single = Percentiles::of(vec![1.5]);
+        assert_eq!((single.p5, single.p50, single.p95), (1.5, 1.5, 1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn percentiles_of_empty_panic() {
+        let _ = Percentiles::of(Vec::new());
+    }
+}

@@ -7,6 +7,13 @@
 //! against the physical energy supply (incoming harvest first, then the
 //! battery) — browning out early when supply falls short of the plan.
 //!
+//! A [`Scenario`] accepts a trace from any
+//! [`HarvestSource`](reap_harvest::HarvestSource) — outdoor solar (the
+//! paper's setting), indoor photovoltaic, body-heat thermoelectric, or
+//! kinetic — and the [`Fleet`] layer scales the same loop to thousands of
+//! seeded synthetic users sharded over all cores, reduced on the fly to
+//! population percentiles ([`FleetReport`]).
+//!
 //! # Examples
 //!
 //! ```
@@ -35,6 +42,7 @@ mod activity_stream;
 mod engine;
 mod error;
 mod fidelity;
+mod fleet;
 mod matrix;
 mod recognition;
 mod report;
@@ -44,7 +52,8 @@ pub use activity_stream::ActivityStream;
 pub use engine::Policy;
 pub use error::SimError;
 pub use fidelity::{execute_schedule, ExecutionOutcome, PointOutcome};
-pub use matrix::run_matrix;
+pub use fleet::{Fleet, FleetBuilder, FleetReport, Percentiles, SourceSlice};
+pub use matrix::{run_matrix, run_matrix_with_threads};
 pub use recognition::{sample_hour, sample_report, HourRecognitions};
 pub use report::{HourRecord, SimReport};
 pub use scenario::{AllocatorKind, BudgetMode, Scenario, ScenarioBuilder};

@@ -34,6 +34,26 @@ pub fn run_matrix(
     scenarios: &[Scenario],
     policies: &[Policy],
 ) -> Result<Vec<Vec<SimReport>>, SimError> {
+    run_matrix_with_threads(scenarios, policies, None)
+}
+
+/// [`run_matrix`] with an explicit worker-thread cap.
+///
+/// `max_threads = None` uses the machine's available parallelism;
+/// `Some(n)` caps the pool at `n` workers (always additionally capped at
+/// the number of pairs). The *results are bit-identical for every thread
+/// count*: parallelism changes only which core runs a pair, never the
+/// arithmetic inside it — the guarantee the fleet simulator's
+/// determinism tests pin down.
+///
+/// # Errors
+///
+/// Same as [`run_matrix`].
+pub fn run_matrix_with_threads(
+    scenarios: &[Scenario],
+    policies: &[Policy],
+    max_threads: Option<std::num::NonZeroUsize>,
+) -> Result<Vec<Vec<SimReport>>, SimError> {
     if scenarios.is_empty() || policies.is_empty() {
         return Ok(scenarios.iter().map(|_| Vec::new()).collect());
     }
@@ -51,7 +71,8 @@ pub fn run_matrix(
     let next_job = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<SimReport, SimError>>>> =
         (0..jobs).map(|_| Mutex::new(None)).collect();
-    let workers = std::thread::available_parallelism()
+    let workers = max_threads
+        .or_else(|| std::thread::available_parallelism().ok())
         .map_or(1, std::num::NonZero::get)
         .min(jobs);
 
@@ -131,6 +152,22 @@ mod tests {
             for (&policy, report) in policies.iter().zip(row) {
                 assert_eq!(report, &s.run(policy).unwrap(), "{policy} diverged");
             }
+        }
+    }
+
+    #[test]
+    fn thread_cap_never_changes_results() {
+        let scenarios = [scenario(21, 1.0), scenario(22, 0.5)];
+        let policies = [Policy::Reap, Policy::Static(3)];
+        let unbounded = run_matrix_with_threads(&scenarios, &policies, None).unwrap();
+        for threads in [1usize, 2, 7] {
+            let capped = run_matrix_with_threads(
+                &scenarios,
+                &policies,
+                Some(std::num::NonZeroUsize::new(threads).unwrap()),
+            )
+            .unwrap();
+            assert_eq!(capped, unbounded, "{threads}-thread run diverged");
         }
     }
 

@@ -71,7 +71,31 @@ pub struct ScenarioBuilder {
 }
 
 impl Scenario {
-    /// Starts a builder from a harvest trace.
+    /// Starts a builder from a harvest trace — from *any*
+    /// [`HarvestSource`](reap_harvest::HarvestSource), not just the
+    /// paper's outdoor solar panel: [`HarvestTrace::september_like`]
+    /// reproduces the Fig. 7 solar month, while
+    /// [`SourceKind::instantiate`](reap_harvest::SourceKind::instantiate)
+    /// yields indoor-photovoltaic, body-heat, and kinetic months with the
+    /// same shape.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reap_harvest::{HarvestSource, SourceKind};
+    /// use reap_sim::{Policy, Scenario};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// // A September month on a body-heat TEG instead of the solar panel.
+    /// let trace = SourceKind::BodyHeat.instantiate(7).generate(244, 30)?;
+    /// let report = Scenario::builder(trace)
+    ///     .points(reap_device::paper_table2_operating_points())
+    ///     .build()?
+    ///     .run(Policy::Reap)?;
+    /// assert_eq!(report.days(), 30);
+    /// # Ok(())
+    /// # }
+    /// ```
     #[must_use]
     pub fn builder(trace: HarvestTrace) -> ScenarioBuilder {
         ScenarioBuilder {

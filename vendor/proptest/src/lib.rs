@@ -1,7 +1,8 @@
 //! Offline workspace shim for the subset of the `proptest` 1.x API that the
-//! REAP property tests use: the [`proptest!`] macro, [`Strategy`] with
-//! `prop_map` / `prop_flat_map` / `prop_filter` / `prop_filter_map`, range
-//! and tuple strategies, [`Just`], [`prop_oneof!`], [`collection::vec`],
+//! REAP property tests use: the [`proptest!`] macro, [`strategy::Strategy`]
+//! with `prop_map` / `prop_flat_map` / `prop_filter` / `prop_filter_map`,
+//! range and tuple strategies, [`strategy::Just`], [`prop_oneof!`],
+//! [`collection::vec`],
 //! [`sample::select`], and the `prop_assert*` / `prop_assume!` macros.
 //!
 //! Differences from real proptest, deliberate for an offline shim:
