@@ -1,0 +1,81 @@
+//! Bench-baseline regression gate: compares freshly generated bench JSON
+//! against the committed baselines and fails (exit 1) on a throughput
+//! regression beyond the threshold.
+//!
+//! ```text
+//! cargo run --release -p reap-bench --bin bench_check -- \
+//!     [--threshold 0.25] <baseline.json> <fresh.json> [<baseline> <fresh> ...]
+//! ```
+//!
+//! Each pair must share a known bench schema (`reap-bench/planner-v1`,
+//! `reap-bench/fleet-v1`, `reap-bench/mpc-v1`); the tracked throughput
+//! metrics per schema live in [`reap_bench::regression`]. The default
+//! threshold tolerates a 25% slowdown — wide enough for shared-runner
+//! noise, tight enough to catch a hot path falling off a cliff.
+
+use reap_bench::regression::compare;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 0.25f64;
+    let mut paths = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threshold" {
+            let value = iter
+                .next()
+                .unwrap_or_else(|| panic!("--threshold needs a value"));
+            threshold = value
+                .parse()
+                .unwrap_or_else(|_| panic!("--threshold expects a number, got {value:?}"));
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    assert!(
+        !paths.is_empty() && paths.len() % 2 == 0,
+        "usage: bench_check [--threshold 0.25] <baseline.json> <fresh.json> ..."
+    );
+
+    println!(
+        "bench regression gate: {} pair(s), threshold {:.0}%",
+        paths.len() / 2,
+        threshold * 100.0
+    );
+    let mut failed = false;
+    for pair in paths.chunks(2) {
+        let (base_path, fresh_path) = (&pair[0], &pair[1]);
+        let baseline = std::fs::read_to_string(base_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {base_path}: {e}"));
+        let fresh = std::fs::read_to_string(fresh_path)
+            .unwrap_or_else(|e| panic!("cannot read fresh run {fresh_path}: {e}"));
+        match compare(&baseline, &fresh, threshold) {
+            Ok(comparisons) => {
+                for c in comparisons {
+                    let verdict = if c.regressed { "REGRESSED" } else { "ok" };
+                    println!(
+                        "  {fresh_path} {}: baseline {:.1}, fresh {:.1} ({:+.0}% slowdown) \
+                         .. {verdict}",
+                        c.key,
+                        c.baseline,
+                        c.fresh,
+                        (c.slowdown - 1.0) * 100.0
+                    );
+                    failed |= c.regressed;
+                }
+            }
+            Err(message) => {
+                println!("  {fresh_path}: {message} .. FAILED");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        println!(
+            "bench regression gate FAILED (>{:.0}% slowdown)",
+            threshold * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("bench regression gate passed");
+}

@@ -79,19 +79,32 @@ fn main() {
         .build()
         .expect("valid scenario");
     let hours = scenario.trace().len_hours();
-    let start = std::time::Instant::now();
-    let reap_report = scenario.run(Policy::Reap).expect("runs");
-    let reap_run_ms = start.elapsed().as_secs_f64() * 1e3;
+    // Sub-millisecond runs are dominated by scheduler noise, and the CI
+    // regression gate compares these numbers across machines — report
+    // the min over several repetitions (the same best-case estimator the
+    // criterion shim uses) at microsecond precision.
+    const SIM_REPS: u32 = 20;
+    let mut reap_run_ms = f64::INFINITY;
+    let mut reap_report = None;
+    for _ in 0..SIM_REPS {
+        let start = std::time::Instant::now();
+        reap_report = Some(scenario.run(Policy::Reap).expect("runs"));
+        reap_run_ms = reap_run_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let reap_report = reap_report.expect("at least one rep");
     let policies: Vec<Policy> = std::iter::once(Policy::Reap)
         .chain((1u8..=5).map(Policy::Static))
         .collect();
-    let start = std::time::Instant::now();
-    let matrix = run_matrix(std::slice::from_ref(&scenario), &policies).expect("runs");
-    let matrix_ms = start.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(matrix[0][0], reap_report, "matrix must match sequential");
+    let mut matrix_ms = f64::INFINITY;
+    for _ in 0..SIM_REPS {
+        let start = std::time::Instant::now();
+        let matrix = run_matrix(std::slice::from_ref(&scenario), &policies).expect("runs");
+        matrix_ms = matrix_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(matrix[0][0], reap_report, "matrix must match sequential");
+    }
     let n_policies = policies.len();
     println!(
-        "month sim ({hours} h): REAP run {reap_run_ms:.1} ms, {n_policies}-policy matrix {matrix_ms:.1} ms"
+        "month sim ({hours} h, min of {SIM_REPS}): REAP run {reap_run_ms:.3} ms, {n_policies}-policy matrix {matrix_ms:.3} ms"
     );
 
     let mut json = String::from(
@@ -109,7 +122,7 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"frontier_speedup_n5\": {speedup_n5:.1},\n  \"month_sim\": {{\"hours\": {hours}, \"reap_run_ms\": {reap_run_ms:.1}, \"matrix_policies\": {}, \"matrix_ms\": {matrix_ms:.1}}}\n}}\n",
+        "  ],\n  \"frontier_speedup_n5\": {speedup_n5:.1},\n  \"month_sim\": {{\"hours\": {hours}, \"reap_run_ms\": {reap_run_ms:.3}, \"matrix_policies\": {}, \"matrix_ms\": {matrix_ms:.3}}}\n}}\n",
         policies.len()
     ));
     std::fs::write(&out_path, json).expect("writable output path");

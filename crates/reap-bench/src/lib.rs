@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod regression;
+
 use reap_core::{OperatingPoint, ReapProblem};
 use reap_device::{characterize, CharacterizedDp};
 use reap_har::{train_classifier, DesignPoint, DpConfig, TrainConfig};

@@ -1,0 +1,223 @@
+//! Bench-baseline regression checking.
+//!
+//! The repo commits machine-readable perf baselines (`BENCH_planner.json`,
+//! `BENCH_fleet.json`, `BENCH_mpc.json`). CI regenerates each on every
+//! commit; this module compares the fresh numbers against the committed
+//! baseline and flags throughput regressions beyond a threshold — the
+//! logic behind the `bench_check` binary.
+//!
+//! The bench JSON is hand-written (the workspace is offline and carries
+//! no serde), so extraction is a deliberately small scanner over unique
+//! top-level keys rather than a JSON parser.
+
+/// Direction of a throughput metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger is faster (e.g. `users_per_s`).
+    HigherIsBetter,
+    /// Smaller is faster (e.g. `matrix_ms`).
+    LowerIsBetter,
+}
+
+/// One tracked throughput metric of a bench schema.
+#[derive(Debug, Clone, Copy)]
+pub struct Metric {
+    /// The unique JSON key holding the metric.
+    pub key: &'static str,
+    /// Which way is faster.
+    pub direction: Direction,
+}
+
+/// The throughput metrics tracked for a bench schema, or `None` for an
+/// unknown schema.
+#[must_use]
+pub fn metrics_for_schema(schema: &str) -> Option<&'static [Metric]> {
+    match schema {
+        "reap-bench/planner-v1" => Some(&[
+            Metric {
+                key: "reap_run_ms",
+                direction: Direction::LowerIsBetter,
+            },
+            Metric {
+                key: "matrix_ms",
+                direction: Direction::LowerIsBetter,
+            },
+        ]),
+        "reap-bench/fleet-v1" => Some(&[Metric {
+            key: "users_per_s",
+            direction: Direction::HigherIsBetter,
+        }]),
+        "reap-bench/mpc-v1" => Some(&[Metric {
+            key: "hours_per_s",
+            direction: Direction::HigherIsBetter,
+        }]),
+        _ => None,
+    }
+}
+
+/// Extracts the first number stored under `"key":` in `json`.
+#[must_use]
+pub fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let rest = extract_raw(json, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the first string stored under `"key":` in `json`.
+#[must_use]
+pub fn extract_string<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let rest = extract_raw(json, key)?.strip_prefix('"')?;
+    rest.split('"').next()
+}
+
+fn extract_raw<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let start = json.find(&needle)? + needle.len();
+    json[start..]
+        .trim_start()
+        .strip_prefix(':')
+        .map(str::trim_start)
+}
+
+/// Outcome of comparing one metric between baseline and fresh runs.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// The metric's JSON key.
+    pub key: &'static str,
+    /// The committed baseline value.
+    pub baseline: f64,
+    /// The freshly measured value.
+    pub fresh: f64,
+    /// Slowdown factor: `> 1` means the fresh run is slower, whatever the
+    /// metric's direction (a 1.30 entry reads "30% slower than baseline").
+    pub slowdown: f64,
+    /// `true` when `slowdown` exceeds `1 + threshold`.
+    pub regressed: bool,
+}
+
+/// Compares every tracked metric of a bench JSON pair.
+///
+/// `threshold` is the tolerated fractional slowdown (0.25 = fail beyond
+/// 25% slower than the committed baseline).
+///
+/// # Errors
+///
+/// Returns a message when either document lacks a known `schema`, the
+/// schemas disagree, or a tracked metric is missing or non-positive.
+pub fn compare(
+    baseline_json: &str,
+    fresh_json: &str,
+    threshold: f64,
+) -> Result<Vec<Comparison>, String> {
+    let schema = extract_string(baseline_json, "schema")
+        .ok_or_else(|| "baseline has no schema field".to_string())?;
+    let fresh_schema = extract_string(fresh_json, "schema")
+        .ok_or_else(|| "fresh run has no schema field".to_string())?;
+    if schema != fresh_schema {
+        return Err(format!(
+            "schema mismatch: baseline {schema} vs fresh {fresh_schema}"
+        ));
+    }
+    let metrics =
+        metrics_for_schema(schema).ok_or_else(|| format!("unknown bench schema {schema}"))?;
+    let mut out = Vec::with_capacity(metrics.len());
+    for metric in metrics {
+        let baseline = extract_number(baseline_json, metric.key)
+            .ok_or_else(|| format!("baseline lacks metric {}", metric.key))?;
+        let fresh = extract_number(fresh_json, metric.key)
+            .ok_or_else(|| format!("fresh run lacks metric {}", metric.key))?;
+        if baseline <= 0.0 || fresh <= 0.0 {
+            return Err(format!(
+                "metric {} must be positive (baseline {baseline}, fresh {fresh})",
+                metric.key
+            ));
+        }
+        let slowdown = match metric.direction {
+            Direction::LowerIsBetter => fresh / baseline,
+            Direction::HigherIsBetter => baseline / fresh,
+        };
+        out.push(Comparison {
+            key: metric.key,
+            baseline,
+            fresh,
+            slowdown,
+            regressed: slowdown > 1.0 + threshold,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FLEET: &str = r#"{
+  "schema": "reap-bench/fleet-v1",
+  "users": 2000,
+  "users_per_s": 6000
+}"#;
+
+    #[test]
+    fn extracts_numbers_and_strings() {
+        assert_eq!(extract_string(FLEET, "schema"), Some("reap-bench/fleet-v1"));
+        assert_eq!(extract_number(FLEET, "users_per_s"), Some(6000.0));
+        assert_eq!(extract_number(FLEET, "users"), Some(2000.0));
+        assert_eq!(extract_number(FLEET, "absent"), None);
+        assert_eq!(extract_number("{\"x\": -3.5e2}", "x"), Some(-350.0));
+    }
+
+    #[test]
+    fn schemas_map_to_metrics() {
+        assert_eq!(
+            metrics_for_schema("reap-bench/planner-v1").unwrap().len(),
+            2
+        );
+        assert_eq!(metrics_for_schema("reap-bench/fleet-v1").unwrap().len(), 1);
+        assert_eq!(metrics_for_schema("reap-bench/mpc-v1").unwrap().len(), 1);
+        assert!(metrics_for_schema("nope").is_none());
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let fresh = FLEET.replace("6000", "5000");
+        let cmp = compare(FLEET, &fresh, 0.25).unwrap();
+        assert_eq!(cmp.len(), 1);
+        assert!(!cmp[0].regressed, "20% slower is inside a 25% budget");
+        assert!((cmp[0].slowdown - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beyond_threshold_regresses() {
+        let fresh = FLEET.replace("6000", "4000");
+        let cmp = compare(FLEET, &fresh, 0.25).unwrap();
+        assert!(cmp[0].regressed, "33% slower must trip a 25% budget");
+    }
+
+    #[test]
+    fn lower_is_better_direction() {
+        let base = r#"{"schema": "reap-bench/planner-v1", "reap_run_ms": 10.0, "matrix_ms": 20.0}"#;
+        let fast = r#"{"schema": "reap-bench/planner-v1", "reap_run_ms": 9.0, "matrix_ms": 30.0}"#;
+        let cmp = compare(base, fast, 0.25).unwrap();
+        assert!(!cmp[0].regressed, "faster run must pass");
+        assert!(cmp[1].regressed, "50% slower matrix must fail");
+    }
+
+    #[test]
+    fn speedups_never_regress() {
+        let fresh = FLEET.replace("6000", "9000");
+        let cmp = compare(FLEET, &fresh, 0.25).unwrap();
+        assert!(!cmp[0].regressed);
+        assert!(cmp[0].slowdown < 1.0);
+    }
+
+    #[test]
+    fn mismatched_or_missing_schemas_error() {
+        assert!(compare(FLEET, r#"{"schema": "reap-bench/mpc-v1"}"#, 0.25).is_err());
+        assert!(compare("{}", FLEET, 0.25).is_err());
+        assert!(compare(FLEET, "{}", 0.25).is_err());
+        let broken = FLEET.replace("users_per_s", "users_per_x");
+        assert!(compare(FLEET, &broken, 0.25).is_err());
+    }
+}

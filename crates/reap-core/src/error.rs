@@ -25,9 +25,15 @@ pub enum ReapError {
     /// The underlying LP solver failed (iteration limit or malformed
     /// problem — both indicate a bug or pathological input).
     Lp(LpError),
-    /// The LP reported infeasible/unbounded, which cannot happen for a
-    /// well-formed REAP instance; reported rather than panicking.
+    /// The LP reported an unexpected status (e.g. unbounded), which
+    /// cannot happen for a well-formed REAP instance; reported rather
+    /// than panicking.
     SolverInconsistency(String),
+    /// A multi-period horizon plan is infeasible: the battery plus the
+    /// forecast harvest cannot pay the off-state floor `P_off * TP` of
+    /// every period (a starved window). Recoverable — the receding-
+    /// horizon controller answers it with the all-off schedule.
+    InfeasibleHorizon,
     /// An operating-point id was not found in the problem.
     UnknownPoint {
         /// The id that was requested.
@@ -47,6 +53,10 @@ impl fmt::Display for ReapError {
             ReapError::SolverInconsistency(msg) => {
                 write!(f, "solver produced an inconsistent result: {msg}")
             }
+            ReapError::InfeasibleHorizon => write!(
+                f,
+                "horizon plan is infeasible: the window cannot pay the off-state floor"
+            ),
             ReapError::UnknownPoint { id } => write!(f, "no operating point with id {id}"),
         }
     }

@@ -71,8 +71,11 @@ impl HorizonPlan {
 ///
 /// * [`ReapError::InvalidParameter`] for an empty forecast, negative
 ///   forecast energies, or a battery state outside `[0, capacity]`.
+/// * [`ReapError::InfeasibleHorizon`] when the battery plus the forecast
+///   cannot pay every period's off-state floor `P_off * TP` (a starved
+///   window).
 /// * [`ReapError::Lp`] / [`ReapError::SolverInconsistency`] if the solver
-///   fails (pathological inputs only; the program is always feasible).
+///   fails numerically (pathological inputs only).
 pub fn plan_horizon(
     problem: &ReapProblem,
     forecast: &[Energy],
@@ -157,13 +160,19 @@ pub fn plan_horizon(
     }
 
     let solution = lp.solve()?;
-    if solution.status() != LpStatus::Optimal {
-        // "Everything off, bank what fits, spill the rest" is always
-        // feasible, so a non-optimal status means numerical trouble.
-        return Err(ReapError::SolverInconsistency(format!(
-            "horizon lp reported {}",
-            solution.status()
-        )));
+    match solution.status() {
+        LpStatus::Optimal => {}
+        // Every period owes the off-state floor `P_off * TP`, so a dark
+        // window with a dead battery is genuinely infeasible (a starved
+        // device, not a solver bug) — report it as such.
+        LpStatus::Infeasible => return Err(ReapError::InfeasibleHorizon),
+        status => {
+            // The objective is bounded by full-time top-point operation,
+            // so any other status means numerical trouble.
+            return Err(ReapError::SolverInconsistency(format!(
+                "horizon lp reported {status}"
+            )));
+        }
     }
     let values = solution.values();
 

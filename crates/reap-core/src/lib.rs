@@ -67,6 +67,7 @@ mod error;
 mod explain;
 mod frontier;
 mod horizon;
+mod mpc;
 mod operating_point;
 mod problem;
 mod regions;
@@ -80,6 +81,7 @@ pub use error::ReapError;
 pub use explain::{explain, BindingConstraint, Explanation};
 pub use frontier::PlanFrontier;
 pub use horizon::{plan_horizon, HorizonPlan};
+pub use mpc::RecedingHorizonController;
 pub use operating_point::OperatingPoint;
 pub use problem::{ReapProblem, ReapProblemBuilder};
 pub use regions::{detect_regions, Region, RegionMap};

@@ -8,6 +8,7 @@
 
 use reap_units::Energy;
 
+use crate::forecast::DiurnalEwma;
 use crate::Battery;
 
 /// A policy that decides each period's energy budget from the harvesting
@@ -53,16 +54,25 @@ impl BudgetAllocator for GreedyAllocator {
 
 /// Kansal-style EWMA allocator: keeps an exponentially weighted moving
 /// average of the harvest *per hour-of-day slot* (capturing the diurnal
-/// profile) and budgets that expectation plus a battery correction.
+/// profile, via the shared [`DiurnalEwma`] estimator) and budgets that
+/// expectation plus a battery correction.
+///
+/// Cold start is **lazy per slot**: the very first call carries no real
+/// sample (there was no previous hour), so it is discarded, and each slot
+/// is seeded by the first harvest actually observed for it. Slots not yet
+/// observed budget the mean of the observed ones — so a device booted at
+/// midnight ramps its expectations up through a sunny first day instead
+/// of believing every hour is as dark as the boot placeholder.
 #[derive(Debug, Clone)]
 pub struct EwmaAllocator {
-    /// Per-slot harvest estimates (J).
-    estimates: [f64; 24],
-    /// EWMA smoothing factor in `(0, 1]`: weight of the newest sample.
-    alpha: f64,
+    /// Shared per-slot diurnal estimator (also used by
+    /// [`EwmaForecaster`](crate::EwmaForecaster)).
+    ewma: DiurnalEwma,
     /// Fraction of the battery's divergence from target spent per hour.
     battery_gain: f64,
-    initialized: bool,
+    /// `false` until the first call: its `harvested_last_hour` describes
+    /// an hour that never ran and must not seed any slot.
+    first_call_done: bool,
 }
 
 impl EwmaAllocator {
@@ -71,24 +81,25 @@ impl EwmaAllocator {
     #[must_use]
     pub fn new() -> EwmaAllocator {
         EwmaAllocator {
-            estimates: [0.0; 24],
-            alpha: 0.5,
+            ewma: DiurnalEwma::new(0.5),
             battery_gain: 0.1,
-            initialized: false,
+            first_call_done: false,
         }
     }
 
     /// Overrides the smoothing factor (clamped to `(0, 1]`).
     #[must_use]
     pub fn with_alpha(mut self, alpha: f64) -> EwmaAllocator {
-        self.alpha = alpha.clamp(1e-3, 1.0);
+        self.ewma = DiurnalEwma::new(alpha);
         self
     }
 
-    /// Current estimate for a slot (J), for inspection.
+    /// Current expectation for a slot (J), for inspection: the slot's
+    /// estimate, or the observed-slot mean while the slot is still
+    /// unseeded.
     #[must_use]
     pub fn estimate(&self, hour_of_day: u32) -> Energy {
-        Energy::from_joules(self.estimates[(hour_of_day % 24) as usize])
+        Energy::from_joules(self.ewma.expected(hour_of_day))
     }
 }
 
@@ -105,18 +116,17 @@ impl BudgetAllocator for EwmaAllocator {
         harvested_last_hour: Energy,
         battery: &Battery,
     ) -> Energy {
-        // Update the estimate of the *previous* slot with its outcome.
-        let prev_slot = ((hour_of_day + 23) % 24) as usize;
-        if self.initialized {
-            self.estimates[prev_slot] = (1.0 - self.alpha) * self.estimates[prev_slot]
-                + self.alpha * harvested_last_hour.joules();
+        // Update the estimate of the *previous* slot with its outcome —
+        // except on the very first call, whose sample is a placeholder
+        // for an hour that never ran (the engine passes zero at hour 0;
+        // seeding from it would starve the whole first day).
+        if self.first_call_done {
+            let prev_slot = (hour_of_day + 23) % 24;
+            self.ewma.observe(prev_slot, harvested_last_hour.joules());
         } else {
-            // Cold start: seed every slot with the first observation so
-            // the first day is not starved to zero.
-            self.estimates = [harvested_last_hour.joules(); 24];
-            self.initialized = true;
+            self.first_call_done = true;
         }
-        let expected = self.estimates[(hour_of_day % 24) as usize];
+        let expected = self.ewma.expected(hour_of_day);
         let target = battery.capacity() * 0.5;
         let correction = (battery.level() - target).joules() * self.battery_gain;
         Energy::from_joules((expected + correction).max(0.0))
@@ -235,12 +245,40 @@ mod tests {
     }
 
     #[test]
+    fn ewma_cold_start_ignores_the_boot_placeholder() {
+        // Regression: the engine always passes harvested_last_hour = 0 on
+        // hour 0 (no previous hour exists). That placeholder used to seed
+        // every slot to zero, starving the whole first day. It must not
+        // seed anything.
+        let mut a = EwmaAllocator::new();
+        let b = half_full();
+        let _ = a.allocate(0, Energy::ZERO, &b);
+        // A sunny first day: hours 0 and 1 each harvested 5 J.
+        let _ = a.allocate(1, joules(5.0), &b);
+        let _ = a.allocate(2, joules(5.0), &b);
+        // By hour 2 the observed slots hold real nonzero estimates...
+        assert!(
+            a.estimate(0).joules() > 4.9 && a.estimate(1).joules() > 4.9,
+            "sunny first-day slots estimate {} / {}",
+            a.estimate(0),
+            a.estimate(1)
+        );
+        // ...and unseen slots extrapolate from them instead of zero.
+        assert!(a.estimate(12).joules() > 4.9, "noon fallback starved");
+    }
+
+    #[test]
     fn ewma_budget_tracks_expectations() {
         let mut a = EwmaAllocator::new();
         let b = half_full();
-        // Cold start: first call seeds all slots.
+        // The first call's sample is discarded (no previous hour), so the
+        // budget at the target battery level is zero.
         let first = a.allocate(0, joules(2.0), &b);
-        assert!((first.joules() - 2.0).abs() < 1e-9);
+        assert!(first.joules().abs() < 1e-9);
+        // The second call carries the first real sample; with only that
+        // slot seen, the expectation for any hour equals it.
+        let second = a.allocate(1, joules(2.0), &b);
+        assert!((second.joules() - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -28,7 +28,10 @@
 //! each is calibrated so its useful hours land inside the paper's
 //! 0.18–10 J evaluation regime. [`Battery`] and [`BudgetAllocator`]
 //! implementations turn harvests into per-period energy budgets
-//! (Kansal-style EWMA, greedy, and uniform-daily policies).
+//! (Kansal-style EWMA, greedy, and uniform-daily policies), and
+//! [`HarvestForecaster`] implementations produce the multi-hour
+//! forecast windows lookahead (receding-horizon) policies consume —
+//! a causal per-slot EWMA projection and a seeded noisy oracle.
 //!
 //! # Examples
 //!
@@ -55,6 +58,7 @@
 mod allocator;
 mod battery;
 mod error;
+mod forecast;
 mod indoor;
 mod kinetic;
 mod panel;
@@ -66,6 +70,7 @@ mod trace;
 pub use allocator::{BudgetAllocator, EwmaAllocator, GreedyAllocator, UniformDailyAllocator};
 pub use battery::Battery;
 pub use error::HarvestError;
+pub use forecast::{DiurnalEwma, EwmaForecaster, HarvestForecaster, OracleForecaster};
 pub use indoor::IndoorPhotovoltaic;
 pub use kinetic::KineticHarvester;
 pub use panel::SolarPanel;

@@ -29,7 +29,7 @@ use reap_harvest::SourceKind;
 
 use crate::engine::Policy;
 use crate::matrix::run_matrix_with_threads;
-use crate::{AllocatorKind, Scenario, SimError, SimReport};
+use crate::{AllocatorKind, ForecasterKind, Scenario, SimError, SimReport};
 
 /// Users per `run_matrix` batch: large enough to keep every worker busy,
 /// small enough that in-flight hour-by-hour reports stay bounded.
@@ -73,6 +73,8 @@ pub struct Fleet {
     alpha_range: (f64, f64),
     accuracy_spread: f64,
     allocator: AllocatorKind,
+    policy: Policy,
+    forecaster: ForecasterKind,
 }
 
 /// Builder for [`Fleet`]; see [`Fleet::builder`].
@@ -89,8 +91,9 @@ impl Fleet {
     /// Defaults: 1000 users, seed 0, the paper's September month (30 days
     /// from day-of-year 244), all four [`SourceKind`]s round-robined
     /// across users, per-user `alpha` drawn from `[0.5, 2.0)`, a ±3
-    /// percentage-point LOUO-style accuracy spread, and the EWMA
-    /// allocator.
+    /// percentage-point LOUO-style accuracy spread, the EWMA allocator,
+    /// the [`Policy::Reap`] planner, and the EWMA forecaster (relevant
+    /// only under [`Policy::Horizon`]).
     #[must_use]
     pub fn builder(base_points: Vec<OperatingPoint>) -> FleetBuilder {
         FleetBuilder {
@@ -104,8 +107,16 @@ impl Fleet {
                 alpha_range: (0.5, 2.0),
                 accuracy_spread: 0.03,
                 allocator: AllocatorKind::Ewma,
+                policy: Policy::Reap,
+                forecaster: ForecasterKind::Ewma,
             },
         }
+    }
+
+    /// The policy every user runs.
+    #[must_use]
+    pub fn policy(&self) -> Policy {
+        self.policy
     }
 
     /// Number of users in the fleet.
@@ -209,11 +220,13 @@ impl Fleet {
             .points(points)
             .alpha(alpha)
             .allocator(self.allocator)
+            .forecaster(self.forecaster)
             .build()
     }
 
-    /// Simulates the whole fleet under [`Policy::Reap`], sharding users
-    /// over all available cores.
+    /// Simulates the whole fleet under the configured policy
+    /// ([`Policy::Reap`] by default), sharding users over all available
+    /// cores.
     ///
     /// # Errors
     ///
@@ -236,7 +249,7 @@ impl Fleet {
         max_threads: Option<NonZeroUsize>,
     ) -> Result<FleetReport, SimError> {
         let mut acc = FleetAccumulator::new(self);
-        let policies = [Policy::Reap];
+        let policies = [self.policy];
         let mut user = 0u32;
         while user < self.users {
             let shard_end = (user + SHARD_USERS as u32).min(self.users);
@@ -317,6 +330,22 @@ impl FleetBuilder {
         self
     }
 
+    /// Sets the planning policy every user runs (default:
+    /// [`Policy::Reap`]).
+    #[must_use]
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.fleet.policy = policy;
+        self
+    }
+
+    /// Sets the harvest forecaster users' [`Policy::Horizon`] runs use
+    /// (default: the causal EWMA forecaster). Ignored by myopic policies.
+    #[must_use]
+    pub fn forecaster(mut self, forecaster: ForecasterKind) -> Self {
+        self.fleet.forecaster = forecaster;
+        self
+    }
+
     /// Validates and builds the fleet.
     ///
     /// # Errors
@@ -355,6 +384,26 @@ impl FleetBuilder {
                 "accuracy spread {} outside [0, 0.5)",
                 f.accuracy_spread
             )));
+        }
+        match f.policy {
+            Policy::Horizon { lookahead: 0 } => {
+                return Err(SimError::InvalidParameter(
+                    "horizon policy needs a lookahead of at least one hour".into(),
+                ));
+            }
+            Policy::Static(id) if !f.base_points.iter().any(|p| p.id() == id) => {
+                return Err(SimError::InvalidParameter(format!(
+                    "static policy references unknown operating point {id}"
+                )));
+            }
+            _ => {}
+        }
+        if let ForecasterKind::Oracle { rel_error, .. } = f.forecaster {
+            if !rel_error.is_finite() || rel_error < 0.0 {
+                return Err(SimError::InvalidParameter(format!(
+                    "oracle forecast error {rel_error} must be finite and non-negative"
+                )));
+            }
         }
         Ok(self.fleet)
     }
@@ -694,6 +743,49 @@ mod tests {
                 slice.kind
             );
         }
+    }
+
+    #[test]
+    fn builder_validates_policy_and_forecaster() {
+        assert!(Fleet::builder(base_points())
+            .policy(Policy::Horizon { lookahead: 0 })
+            .build()
+            .is_err());
+        assert!(Fleet::builder(base_points())
+            .policy(Policy::Static(9))
+            .build()
+            .is_err());
+        assert!(Fleet::builder(base_points())
+            .forecaster(ForecasterKind::Oracle {
+                rel_error: f64::NAN,
+                seed: 0,
+            })
+            .build()
+            .is_err());
+        let fleet = Fleet::builder(base_points())
+            .policy(Policy::Horizon { lookahead: 6 })
+            .build()
+            .unwrap();
+        assert_eq!(fleet.policy(), Policy::Horizon { lookahead: 6 });
+    }
+
+    #[test]
+    fn fleet_runs_the_horizon_policy_at_population_scale() {
+        // A small fleet on the receding-horizon policy with the causal
+        // EWMA forecaster: every user plans lookahead windows, and the
+        // aggregate stays deterministic across thread counts.
+        let fleet = Fleet::builder(base_points())
+            .users(6)
+            .days(2)
+            .seed(3)
+            .policy(Policy::Horizon { lookahead: 12 })
+            .build()
+            .unwrap();
+        let report = fleet.run().unwrap();
+        assert_eq!(report.users(), 6);
+        assert!(report.mean_active_fraction() > 0.0);
+        let single = fleet.run_with_threads(Some(NonZeroUsize::MIN)).unwrap();
+        assert_eq!(single, report, "horizon fleet diverged across threads");
     }
 
     #[test]

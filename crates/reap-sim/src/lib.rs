@@ -56,4 +56,4 @@ pub use fleet::{Fleet, FleetBuilder, FleetReport, Percentiles, SourceSlice};
 pub use matrix::{run_matrix, run_matrix_with_threads};
 pub use recognition::{sample_hour, sample_report, HourRecognitions};
 pub use report::{HourRecord, SimReport};
-pub use scenario::{AllocatorKind, BudgetMode, Scenario, ScenarioBuilder};
+pub use scenario::{AllocatorKind, BudgetMode, ForecasterKind, Scenario, ScenarioBuilder};

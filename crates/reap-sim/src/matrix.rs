@@ -58,12 +58,18 @@ pub fn run_matrix_with_threads(
         return Ok(scenarios.iter().map(|_| Vec::new()).collect());
     }
 
-    // Open-loop budget sequences are policy-independent: one per scenario.
+    // Open-loop budget sequences are policy-independent: one per
+    // scenario. Skip the precompute entirely when no policy consumes
+    // budgets (an all-MPC batch, e.g. a fleet on `Policy::Horizon`):
+    // running the allocator over every trace would be pure waste.
+    let any_budget_consumer = policies
+        .iter()
+        .any(|p| !matches!(p, Policy::Horizon { .. }));
     let shared_budgets: Vec<Option<Vec<Energy>>> = scenarios
         .iter()
         .map(|s| match s.budget_mode {
-            BudgetMode::OpenLoop => Some(engine::open_loop_budgets(s)),
-            BudgetMode::ClosedLoop => None,
+            BudgetMode::OpenLoop if any_budget_consumer => Some(engine::open_loop_budgets(s)),
+            _ => None,
         })
         .collect();
 

@@ -95,7 +95,10 @@ impl SimReport {
         self.policy.name()
     }
 
-    /// Name of the budget allocator used.
+    /// Name of the energy layer that drove the run: the budget allocator
+    /// for the myopic policies (e.g. `"ewma"`), or the harvest
+    /// forecaster for [`Policy::Horizon`] (e.g. `"oracle-forecast"`),
+    /// which bypasses the allocator.
     #[must_use]
     pub fn allocator_name(&self) -> &'static str {
         self.allocator

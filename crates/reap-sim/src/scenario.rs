@@ -2,7 +2,8 @@
 
 use reap_core::{OperatingPoint, ReapProblem};
 use reap_harvest::{
-    Battery, BudgetAllocator, EwmaAllocator, GreedyAllocator, HarvestTrace, UniformDailyAllocator,
+    Battery, BudgetAllocator, EwmaAllocator, EwmaForecaster, GreedyAllocator, HarvestForecaster,
+    HarvestTrace, OracleForecaster, UniformDailyAllocator,
 };
 use reap_units::Power;
 
@@ -47,6 +48,39 @@ impl AllocatorKind {
     }
 }
 
+/// Which harvest forecaster feeds [`Policy::Horizon`]'s lookahead window
+/// (see [`reap_harvest::HarvestForecaster`]). Ignored by the myopic
+/// policies.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ForecasterKind {
+    /// Causal per-hour-of-day EWMA projection (the default): the
+    /// deployable forecaster, sharing the allocator's diurnal estimator.
+    #[default]
+    Ewma,
+    /// Seeded noisy oracle over the scenario's own trace: the true future
+    /// perturbed hour-by-hour by up to `rel_error` (e.g. `0.2` = ±20%).
+    /// `rel_error = 0` is the perfect-information upper bound.
+    Oracle {
+        /// Relative forecast error in `[0, 1]`.
+        rel_error: f64,
+        /// Seed of the deterministic per-hour perturbation.
+        seed: u64,
+    },
+}
+
+impl ForecasterKind {
+    pub(crate) fn instantiate(self, trace: &HarvestTrace) -> Box<dyn HarvestForecaster> {
+        match self {
+            ForecasterKind::Ewma => Box::new(EwmaForecaster::new()),
+            ForecasterKind::Oracle { rel_error, seed } => Box::new(OracleForecaster::new(
+                trace.iter().collect(),
+                rel_error,
+                seed,
+            )),
+        }
+    }
+}
+
 /// A complete simulation scenario: harvest trace, device operating points,
 /// battery, allocator policy, and the optimizer's `alpha`.
 #[derive(Debug, Clone)]
@@ -56,6 +90,7 @@ pub struct Scenario {
     pub(crate) battery: Battery,
     pub(crate) allocator: AllocatorKind,
     pub(crate) budget_mode: BudgetMode,
+    pub(crate) forecaster: ForecasterKind,
 }
 
 /// Builder for [`Scenario`].
@@ -68,6 +103,7 @@ pub struct ScenarioBuilder {
     battery: Battery,
     allocator: AllocatorKind,
     budget_mode: BudgetMode,
+    forecaster: ForecasterKind,
 }
 
 impl Scenario {
@@ -106,6 +142,7 @@ impl Scenario {
             battery: Battery::small_wearable(),
             allocator: AllocatorKind::default(),
             budget_mode: BudgetMode::default(),
+            forecaster: ForecasterKind::default(),
         }
     }
 
@@ -197,13 +234,29 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the harvest forecaster feeding [`Policy::Horizon`] (default:
+    /// the causal EWMA forecaster). Myopic policies ignore it.
+    #[must_use]
+    pub fn forecaster(mut self, forecaster: ForecasterKind) -> Self {
+        self.forecaster = forecaster;
+        self
+    }
+
     /// Validates and builds the scenario.
     ///
     /// # Errors
     ///
     /// [`SimError::Core`] when the operating-point set is invalid (empty,
-    /// duplicate ids, bad alpha, ...).
+    /// duplicate ids, bad alpha, ...); [`SimError::InvalidParameter`] for
+    /// a non-finite or negative oracle forecast error.
     pub fn build(self) -> Result<Scenario, SimError> {
+        if let ForecasterKind::Oracle { rel_error, .. } = self.forecaster {
+            if !rel_error.is_finite() || rel_error < 0.0 {
+                return Err(SimError::InvalidParameter(format!(
+                    "oracle forecast error {rel_error} must be finite and non-negative"
+                )));
+            }
+        }
         let problem = ReapProblem::builder()
             .alpha(self.alpha)
             .off_power(self.off_power)
@@ -215,6 +268,7 @@ impl ScenarioBuilder {
             battery: self.battery,
             allocator: self.allocator,
             budget_mode: self.budget_mode,
+            forecaster: self.forecaster,
         })
     }
 }
@@ -249,6 +303,38 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, SimError::Core(_)));
+    }
+
+    #[test]
+    fn forecaster_kinds_instantiate_and_validate() {
+        let trace = HarvestTrace::september_like(1);
+        for kind in [
+            ForecasterKind::Ewma,
+            ForecasterKind::Oracle {
+                rel_error: 0.2,
+                seed: 7,
+            },
+        ] {
+            assert!(!kind.instantiate(&trace).name().is_empty());
+        }
+        // The perfect oracle reproduces the trace it wraps.
+        let oracle = ForecasterKind::Oracle {
+            rel_error: 0.0,
+            seed: 0,
+        }
+        .instantiate(&trace);
+        let window = oracle.forecast(0, trace.len_hours());
+        assert_eq!(window, trace.iter().collect::<Vec<_>>());
+        // Degenerate error levels are rejected at build time.
+        let err = Scenario::builder(HarvestTrace::september_like(1))
+            .points(points())
+            .forecaster(ForecasterKind::Oracle {
+                rel_error: -0.5,
+                seed: 0,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidParameter(_)));
     }
 
     #[test]
