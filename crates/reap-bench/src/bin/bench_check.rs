@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Each pair must share a known bench schema (`reap-bench/planner-v1`,
-//! `reap-bench/fleet-v1`, `reap-bench/mpc-v1`); the tracked throughput
+//! `reap-bench/fleet-v2`, `reap-bench/mpc-v1`); the tracked throughput
 //! metrics per schema live in [`reap_bench::regression`]. The default
 //! threshold tolerates a 25% slowdown — wide enough for shared-runner
 //! noise, tight enough to catch a hot path falling off a cliff.

@@ -43,7 +43,11 @@ pub fn metrics_for_schema(schema: &str) -> Option<&'static [Metric]> {
                 direction: Direction::LowerIsBetter,
             },
         ]),
-        "reap-bench/fleet-v1" => Some(&[Metric {
+        // fleet-v2 (the SoA core) added `cohorts` and `soa_bytes_per_user`
+        // alongside the same throughput metric; the v1 entry stays so a
+        // stale committed baseline produces a clear schema-mismatch error
+        // instead of an unknown-schema one.
+        "reap-bench/fleet-v1" | "reap-bench/fleet-v2" => Some(&[Metric {
             key: "users_per_s",
             direction: Direction::HigherIsBetter,
         }]),
@@ -210,6 +214,30 @@ mod tests {
         let cmp = compare(FLEET, &fresh, 0.25).unwrap();
         assert!(!cmp[0].regressed);
         assert!(cmp[0].slowdown < 1.0);
+    }
+
+    #[test]
+    fn stale_fleet_baseline_schema_fails_loudly() {
+        // The fleet bench now emits fleet-v2; a committed fleet-v1
+        // baseline must produce a hard error (bench_check exits 1 on it),
+        // not a silent pass.
+        let fresh_v2 = r#"{
+  "schema": "reap-bench/fleet-v2",
+  "users": 2000,
+  "users_per_s": 150000,
+  "cohorts": 2000,
+  "soa_bytes_per_user": 300
+}"#;
+        let err = compare(FLEET, fresh_v2, 0.25).unwrap_err();
+        assert!(
+            err.contains("schema mismatch"),
+            "want a schema-mismatch error, got: {err}"
+        );
+        assert!(err.contains("fleet-v1") && err.contains("fleet-v2"));
+        // Both schema generations resolve to tracked metrics on their own.
+        assert!(metrics_for_schema("reap-bench/fleet-v2").is_some());
+        let cmp = compare(fresh_v2, fresh_v2, 0.25).unwrap();
+        assert!(!cmp[0].regressed);
     }
 
     #[test]

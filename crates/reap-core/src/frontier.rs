@@ -250,6 +250,238 @@ impl PlanFrontier {
     }
 }
 
+/// Scalar outcome of one frontier evaluation: exactly the aggregates the
+/// corresponding [`Schedule`] would report, without materializing the
+/// schedule (no allocations, no `Arc` clones).
+///
+/// Produced by [`FrontierTable::eval`]; the field arithmetic replicates
+/// [`Schedule::expected_accuracy`], [`Schedule::active_time`], and
+/// [`Schedule::energy`] term for term (including the sub-microsecond
+/// allocation drop rule), so fleet engines that only need per-hour scalars
+/// can skip schedule construction entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlanEval {
+    /// Expected accuracy of the optimal schedule over the period.
+    pub accuracy: f64,
+    /// Active time of the optimal schedule, in seconds.
+    pub active_s: f64,
+    /// Total energy the optimal schedule consumes (active + off-state),
+    /// in joules.
+    pub energy_j: f64,
+}
+
+/// Flat, pointer-free image of a [`PlanFrontier`] for batched scalar
+/// evaluation: per-vertex `f64` columns instead of `Arc<OperatingPoint>`
+/// references, so a hot loop evaluating thousands of cached frontiers
+/// touches only contiguous memory.
+///
+/// Built once per `(points, alpha)` cohort with [`PlanFrontier::table`];
+/// each [`FrontierTable::eval`] afterwards is a short linear scan over the
+/// `K <= N + 1` breakpoints (frontiers are tiny — a handful of vertices —
+/// so the scan beats binary search) followed by the same interpolation
+/// [`PlanFrontier::solve`] performs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierTable {
+    /// Breakpoint budgets, ascending (`budgets[0]` is the floor).
+    budgets: Vec<f64>,
+    /// Vertex point accuracy (0 for the all-off vertex).
+    acc: Vec<f64>,
+    /// Vertex point power draw in watts (0 for the all-off vertex).
+    power_w: Vec<f64>,
+    /// Vertex point id (0 for the all-off vertex).
+    id: Vec<u8>,
+    /// Whether the vertex runs a point (`false` = the all-off vertex).
+    has_point: Vec<bool>,
+    tp_s: f64,
+    off_w: f64,
+    min_budget_j: f64,
+}
+
+impl PlanFrontier {
+    /// Flattens the frontier into a [`FrontierTable`] for batched
+    /// pointer-free evaluation.
+    #[must_use]
+    pub fn table(&self) -> FrontierTable {
+        let n = self.vertices.len();
+        let mut t = FrontierTable {
+            budgets: Vec::with_capacity(n),
+            acc: Vec::with_capacity(n),
+            power_w: Vec::with_capacity(n),
+            id: Vec::with_capacity(n),
+            has_point: Vec::with_capacity(n),
+            tp_s: self.period.seconds(),
+            off_w: self.off_power.watts(),
+            min_budget_j: self.min_budget_j,
+        };
+        for v in &self.vertices {
+            t.budgets.push(v.budget_j);
+            match &v.point {
+                Some(p) => {
+                    t.acc.push(p.accuracy());
+                    t.power_w.push(p.power().watts());
+                    t.id.push(p.id());
+                    t.has_point.push(true);
+                }
+                None => {
+                    t.acc.push(0.0);
+                    t.power_w.push(0.0);
+                    t.id.push(0);
+                    t.has_point.push(false);
+                }
+            }
+        }
+        t
+    }
+}
+
+impl FrontierTable {
+    /// The budget floor `P_off * TP` in joules (the first breakpoint).
+    #[must_use]
+    pub fn min_budget_j(&self) -> f64 {
+        self.min_budget_j
+    }
+
+    /// The saturation budget (the last breakpoint) in joules: every
+    /// budget at or above it buys the same plan, so callers may cache
+    /// `eval(max_budget_j())` and reuse it for any richer budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty table (never produced by [`PlanFrontier::table`],
+    /// which always retains the off vertex).
+    #[must_use]
+    pub fn max_budget_j(&self) -> f64 {
+        *self.budgets.last().expect("tables retain the off vertex")
+    }
+
+    /// Number of frontier breakpoints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.budgets.len()
+    }
+
+    /// The `k`-th breakpoint as
+    /// `(budget_j, accuracy, power_w, id, has_point)` — the raw columns,
+    /// exported so batched callers can re-pack many cohorts' tables into
+    /// one contiguous arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k >= len()`.
+    #[must_use]
+    pub fn vertex(&self, k: usize) -> (f64, f64, f64, u8, bool) {
+        (
+            self.budgets[k],
+            self.acc[k],
+            self.power_w[k],
+            self.id[k],
+            self.has_point[k],
+        )
+    }
+
+    /// `true` when the table has no breakpoints (never happens for tables
+    /// built from a valid frontier, which always retains the off vertex).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.budgets.is_empty()
+    }
+
+    /// Evaluates the optimal plan at `budget_j`, returning the schedule
+    /// aggregates bit-for-bit equal to running
+    /// [`ReapController::plan`](crate::ReapController::plan) and reading
+    /// them off the returned [`Schedule`].
+    ///
+    /// Sub-floor (and non-finite) budgets clamp up to the floor, exactly
+    /// like the controller's `budget.max(min_budget())` entry clamp —
+    /// which is why this is infallible where [`PlanFrontier::solve`] is
+    /// not: the controller never lets an out-of-domain budget reach the
+    /// frontier.
+    #[must_use]
+    pub fn eval(&self, budget_j: f64) -> PlanEval {
+        // `f64::max` maps NaN to the floor too, matching `Energy::max`.
+        let b = budget_j.max(self.min_budget_j);
+        let last = self.budgets.len() - 1;
+        let (k, lambda) = if last == 0 {
+            (0, 0.0)
+        } else if b >= self.budgets[last] {
+            (last - 1, 1.0)
+        } else {
+            // First vertex with budget > b; the scan mirrors `locate`'s
+            // `partition_point(..).max(1)`.
+            let mut hi = 1;
+            while hi < last && self.budgets[hi] <= b {
+                hi += 1;
+            }
+            let lo_b = self.budgets[hi - 1];
+            (
+                hi - 1,
+                ((b - lo_b) / (self.budgets[hi] - lo_b)).clamp(0.0, 1.0),
+            )
+        };
+        let hi_idx = (k + 1).min(last);
+        let tp = self.tp_s;
+
+        // Durations exactly as `PlanFrontier::solve` pushes them; the off
+        // time complements the *raw* active time (drops below come after).
+        let mut n = 0usize;
+        let mut dur = [0.0f64; 2];
+        let mut acc = [0.0f64; 2];
+        let mut pow = [0.0f64; 2];
+        let mut ids = [0u8; 2];
+        let mut active_raw = 0.0;
+        if self.has_point[k] {
+            let t = (1.0 - lambda) * tp;
+            active_raw += t;
+            dur[n] = t;
+            acc[n] = self.acc[k];
+            pow[n] = self.power_w[k];
+            ids[n] = self.id[k];
+            n = 1;
+        }
+        if lambda > 0.0 && self.has_point[hi_idx] {
+            let t = lambda * tp;
+            active_raw += t;
+            dur[n] = t;
+            acc[n] = self.acc[hi_idx];
+            pow[n] = self.power_w[hi_idx];
+            ids[n] = self.id[hi_idx];
+            n += 1;
+        }
+        let off_s = (tp - active_raw).max(0.0);
+
+        // `Schedule::new` sorts by point id and drops sub-microsecond
+        // allocations; the sums below run in the same (id) order.
+        if n == 2 && ids[1] < ids[0] {
+            dur.swap(0, 1);
+            acc.swap(0, 1);
+            pow.swap(0, 1);
+        }
+        let mut accuracy = 0.0;
+        let mut active_s = 0.0;
+        let mut active_e = 0.0;
+        for j in 0..n {
+            if dur[j] > 1e-6 {
+                accuracy += acc[j] * (dur[j] / tp);
+                active_s += dur[j];
+                active_e += pow[j] * dur[j];
+            }
+        }
+        PlanEval {
+            accuracy,
+            active_s,
+            energy_j: active_e + self.off_w * off_s,
+        }
+    }
+
+    /// Batched [`FrontierTable::eval`]: evaluates every budget in
+    /// `budgets_j` against the one cached frontier — the vectorized
+    /// `solve_many`-style entry point for cohort-deduplicated fleets.
+    #[must_use]
+    pub fn eval_many(&self, budgets_j: &[f64]) -> Vec<PlanEval> {
+        budgets_j.iter().map(|&b| self.eval(b)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +619,70 @@ mod tests {
             s.objective(2.0),
             p.solve(Energy::from_joules(5.0)).unwrap().objective(2.0)
         );
+    }
+
+    #[test]
+    fn table_eval_matches_solve_bit_for_bit() {
+        // The table is the fleet hot path: its scalars must equal reading
+        // the aggregates off the controller's schedule exactly — same
+        // ops, same order — across alphas, budgets, breakpoints, the
+        // saturated tail, and the sub-floor clamp.
+        for alpha in [0.0, 0.5, 1.0, 2.0, 4.0] {
+            let p = paper_problem(alpha);
+            let f = p.frontier();
+            let t = f.table();
+            assert_eq!(t.len(), f.breakpoints().len());
+            assert!(!t.is_empty());
+            assert_eq!(t.min_budget_j(), p.min_budget().joules());
+            let mut budgets: Vec<f64> = vec![0.18, 0.19, 1.0, 3.7, 5.0, 9.936, 20.0];
+            for b in f.breakpoints() {
+                for d in [-1e-9, 0.0, 1e-9] {
+                    budgets.push(b.joules() + d);
+                }
+            }
+            // Sub-floor budgets clamp like the controller's entry clamp.
+            budgets.push(0.0);
+            budgets.push(0.05);
+            for b in budgets {
+                let mut controller =
+                    crate::ReapController::with_solver(p.clone(), crate::SolverKind::Frontier);
+                let s = controller.plan(Energy::from_joules(b)).unwrap();
+                let e = t.eval(b);
+                assert_eq!(e.accuracy, s.expected_accuracy(), "accuracy at {b} J");
+                assert_eq!(e.active_s, s.active_time().seconds(), "active at {b} J");
+                assert_eq!(e.energy_j, s.energy().joules(), "energy at {b} J");
+            }
+        }
+    }
+
+    #[test]
+    fn table_eval_many_matches_eval() {
+        let t = paper_problem(1.0).frontier().table();
+        let budgets = [0.18, 2.5, 5.0, 12.0];
+        let batch = t.eval_many(&budgets);
+        assert_eq!(batch.len(), budgets.len());
+        for (&b, e) in budgets.iter().zip(&batch) {
+            assert_eq!(*e, t.eval(b));
+        }
+    }
+
+    #[test]
+    fn table_eval_handles_degenerate_frontiers() {
+        // Zero-weight frontier: single off vertex, every budget yields
+        // the all-off plan (off-state energy only).
+        let p = ReapProblem::builder()
+            .alpha(2.0)
+            .point(OperatingPoint::new(1, "Z", 0.0, Power::from_milliwatts(1.0)).unwrap())
+            .build()
+            .unwrap();
+        let t = p.frontier().table();
+        let e = t.eval(5.0);
+        assert_eq!(e.accuracy, 0.0);
+        assert_eq!(e.active_s, 0.0);
+        let s = p.frontier().solve(Energy::from_joules(5.0)).unwrap();
+        assert_eq!(e.energy_j, s.energy().joules());
+        // NaN budgets clamp to the floor, matching `Energy::max`.
+        assert_eq!(t.eval(f64::NAN), t.eval(t.min_budget_j()));
     }
 
     #[test]

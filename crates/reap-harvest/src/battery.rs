@@ -90,6 +90,18 @@ impl Battery {
         self.level / self.capacity
     }
 
+    /// Fraction of incoming energy actually stored, in `(0, 1]`.
+    #[must_use]
+    pub fn charge_efficiency(&self) -> f64 {
+        self.charge_efficiency
+    }
+
+    /// Fraction of drawn energy actually delivered, in `(0, 1]`.
+    #[must_use]
+    pub fn discharge_efficiency(&self) -> f64 {
+        self.discharge_efficiency
+    }
+
     /// Charges with `energy` (pre-efficiency). Returns the energy that
     /// *spilled* (could not be stored because the battery was full).
     ///

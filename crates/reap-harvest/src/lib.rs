@@ -62,6 +62,7 @@ mod forecast;
 mod indoor;
 mod kinetic;
 mod panel;
+mod perturb;
 mod solar;
 mod source;
 mod thermoelectric;
@@ -74,6 +75,7 @@ pub use forecast::{DiurnalEwma, EwmaForecaster, HarvestForecaster, OracleForecas
 pub use indoor::IndoorPhotovoltaic;
 pub use kinetic::KineticHarvester;
 pub use panel::SolarPanel;
+pub use perturb::TracePerturbation;
 pub use solar::{SkyCondition, SolarModel, SolarSource, WeatherModel};
 pub use source::{HarvestSource, SourceKind};
 pub use thermoelectric::BodyHeatTeg;

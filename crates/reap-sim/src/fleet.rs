@@ -21,19 +21,22 @@
 
 use std::fmt;
 use std::num::NonZeroUsize;
+use std::sync::{Arc, OnceLock};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use reap_core::OperatingPoint;
-use reap_harvest::SourceKind;
+use reap_harvest::{HarvestTrace, SourceKind, TracePerturbation};
 
 use crate::engine::Policy;
 use crate::matrix::run_matrix_with_threads;
+use crate::soa::SoaFleet;
 use crate::{AllocatorKind, ForecasterKind, Scenario, SimError, SimReport};
 
-/// Users per `run_matrix` batch: large enough to keep every worker busy,
-/// small enough that in-flight hour-by-hour reports stay bounded.
-const SHARD_USERS: usize = 256;
+/// Default users per shard: large enough to amortize per-shard setup,
+/// small enough that one shard's SoA state stays cache-resident
+/// (see [`FleetBuilder::shard_users`]).
+const DEFAULT_SHARD_USERS: usize = 256;
 
 /// A population of seeded synthetic users ready to simulate.
 ///
@@ -64,17 +67,34 @@ const SHARD_USERS: usize = 256;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Fleet {
-    users: u32,
-    seed: u64,
-    days: u32,
-    start_day_of_year: u32,
-    base_points: Vec<OperatingPoint>,
-    sources: Vec<SourceKind>,
-    alpha_range: (f64, f64),
-    accuracy_spread: f64,
-    allocator: AllocatorKind,
-    policy: Policy,
-    forecaster: ForecasterKind,
+    pub(crate) users: u32,
+    pub(crate) seed: u64,
+    pub(crate) days: u32,
+    pub(crate) start_day_of_year: u32,
+    pub(crate) base_points: Vec<OperatingPoint>,
+    pub(crate) sources: Vec<SourceKind>,
+    pub(crate) alpha_range: (f64, f64),
+    pub(crate) accuracy_spread: f64,
+    pub(crate) allocator: AllocatorKind,
+    pub(crate) policy: Policy,
+    pub(crate) forecaster: ForecasterKind,
+    pub(crate) shard_users: NonZeroUsize,
+    /// The fleet flattened into SoA form, built lazily on the first run
+    /// and reused by every later one — a `Fleet` is immutable once
+    /// built, so the flattening (cohort dedup, base traces, the user
+    /// permutation) is a pure function of this struct.
+    soa_cache: OnceLock<Arc<SoaFleet>>,
+}
+
+/// Everything user-specific that is *not* the shared base trace: the
+/// LOUO-perturbed operating points, the preference `alpha`, and the
+/// harvest-trace perturbation. A pure function of `(master seed, user
+/// index)`; both the scalar replay path ([`Fleet::user_scenario`]) and
+/// the SoA core derive users from this one definition.
+pub(crate) struct UserParams {
+    pub(crate) points: Vec<OperatingPoint>,
+    pub(crate) alpha: f64,
+    pub(crate) perturbation: TracePerturbation,
 }
 
 /// Builder for [`Fleet`]; see [`Fleet::builder`].
@@ -109,6 +129,8 @@ impl Fleet {
                 allocator: AllocatorKind::Ewma,
                 policy: Policy::Reap,
                 forecaster: ForecasterKind::Ewma,
+                shard_users: NonZeroUsize::new(DEFAULT_SHARD_USERS).expect("non-zero constant"),
+                soa_cache: OnceLock::new(),
             },
         }
     }
@@ -181,14 +203,47 @@ impl Fleet {
             "user {user} >= fleet size {}",
             self.users
         );
-        let kind = self.user_source(user);
-        // Trace seed: user-distinct but stable under fleet resizing.
+        let base = self.base_trace(self.user_source(user))?;
+        let params = self.user_params(user)?;
+        let trace = params.perturbation.apply(&base)?;
+        Scenario::builder(trace)
+            .points(params.points)
+            .alpha(params.alpha)
+            .allocator(self.allocator)
+            .forecaster(self.forecaster)
+            .build()
+    }
+
+    /// The seed the shared base trace of `kind` derives from: one weather
+    /// stream per source kind, shared (copy-on-perturb) by every user on
+    /// that source.
+    fn base_trace_seed(&self, kind: SourceKind) -> u64 {
+        let ordinal = SourceKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("SourceKind::ALL is exhaustive") as u64;
+        self.seed ^ (ordinal + 1).wrapping_mul(0xA076_1D64_78BD_642F)
+    }
+
+    /// Generates the shared base trace for `kind` — the one month every
+    /// user on that source perturbs. `O(hours)` once per kind, not per
+    /// user.
+    pub(crate) fn base_trace(&self, kind: SourceKind) -> Result<HarvestTrace, SimError> {
+        Ok(kind
+            .instantiate(self.base_trace_seed(kind))
+            .generate(self.start_day_of_year, self.days)?)
+    }
+
+    /// Derives user `user`'s parameters (perturbed points, `alpha`, trace
+    /// perturbation) — the single definition both [`Fleet::user_scenario`]
+    /// and the SoA core build users from.
+    pub(crate) fn user_params(&self, user: u32) -> Result<UserParams, SimError> {
+        // Perturbation seed: user-distinct but stable under fleet
+        // resizing.
         let trace_seed = self
             .seed
             .wrapping_add(u64::from(user).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let trace = kind
-            .instantiate(trace_seed)
-            .generate(self.start_day_of_year, self.days)?;
+        let perturbation = TracePerturbation::from_seed(trace_seed);
 
         // LOUO-style perturbation: shift every point's accuracy by a
         // per-user offset pattern, mimicking the spread leave-one-user-out
@@ -215,18 +270,25 @@ impl Fleet {
 
         let (lo, hi) = self.alpha_range;
         let alpha = if hi > lo { rng.gen_range(lo..hi) } else { lo };
-
-        Scenario::builder(trace)
-            .points(points)
-            .alpha(alpha)
-            .allocator(self.allocator)
-            .forecaster(self.forecaster)
-            .build()
+        Ok(UserParams {
+            points,
+            alpha,
+            perturbation,
+        })
     }
 
     /// Simulates the whole fleet under the configured policy
     /// ([`Policy::Reap`] by default), sharding users over all available
     /// cores.
+    ///
+    /// The myopic policies ([`Policy::Reap`], [`Policy::Static`]) run on
+    /// the data-oriented SoA core ([`crate::soa`]): the whole population
+    /// steps through each simulated hour with cohort-shared plan
+    /// frontiers and copy-on-perturb traces, orders of magnitude faster
+    /// than per-user scalar simulation and agreeing with it to within
+    /// 1e-12 on every per-user scalar (pinned by property tests).
+    /// [`Policy::Horizon`] keeps the scalar engine — its joint LP has
+    /// genuinely per-user state each hour.
     ///
     /// # Errors
     ///
@@ -248,23 +310,46 @@ impl Fleet {
         &self,
         max_threads: Option<NonZeroUsize>,
     ) -> Result<FleetReport, SimError> {
-        let mut acc = FleetAccumulator::new(self);
-        let policies = [self.policy];
-        let mut user = 0u32;
-        while user < self.users {
-            let shard_end = (user + SHARD_USERS as u32).min(self.users);
-            let scenarios = (user..shard_end)
-                .map(|u| self.user_scenario(u))
-                .collect::<Result<Vec<_>, _>>()?;
-            let rows = run_matrix_with_threads(&scenarios, &policies, max_threads)?;
-            for (offset, row) in rows.iter().enumerate() {
-                acc.absorb(user + offset as u32, &row[0]);
+        let soa = match self.soa_cache.get() {
+            Some(soa) => Arc::clone(soa),
+            None => {
+                let built = Arc::new(SoaFleet::new(self)?);
+                Arc::clone(self.soa_cache.get_or_init(|| built))
             }
-            // `rows` (and the shard's hour-by-hour reports) drop here:
-            // only the per-user scalars inside `acc` survive.
-            user = shard_end;
+        };
+        let mut acc = FleetAccumulator::new(self);
+        if soa.supports_policy() {
+            for (user, outcome) in soa.run(max_threads).iter().enumerate() {
+                acc.absorb_outcome(user as u32, outcome);
+            }
+        } else {
+            // Scalar fallback (Horizon): shard users over the matrix
+            // executor exactly as before the SoA core existed.
+            let policies = [self.policy];
+            let shard = self.shard_users.get().min(u32::MAX as usize) as u64;
+            let mut user = 0u32;
+            while user < self.users {
+                let shard_end = (u64::from(user) + shard).min(u64::from(self.users)) as u32;
+                let scenarios = (user..shard_end)
+                    .map(|u| self.user_scenario(u))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let rows = run_matrix_with_threads(&scenarios, &policies, max_threads)?;
+                for (offset, row) in rows.iter().enumerate() {
+                    acc.absorb(user + offset as u32, &row[0]);
+                }
+                // `rows` (and the shard's hour-by-hour reports) drop
+                // here: only the per-user scalars inside `acc` survive.
+                user = shard_end;
+            }
         }
-        Ok(acc.finish())
+        let mut report = acc.finish();
+        report.cohorts = soa.cohorts();
+        report.soa_bytes_per_user = if soa.supports_policy() {
+            soa.bytes_per_user()
+        } else {
+            0
+        };
+        Ok(report)
     }
 }
 
@@ -343,6 +428,18 @@ impl FleetBuilder {
     #[must_use]
     pub fn forecaster(mut self, forecaster: ForecasterKind) -> Self {
         self.fleet.forecaster = forecaster;
+        self
+    }
+
+    /// Sets how many users each shard batches (default 256). Shards are
+    /// the unit of parallelism *and* of cache residency for the SoA core
+    /// — one shard's state walks all simulated hours before the next
+    /// shard starts. Per-user results do not depend on shard boundaries,
+    /// so any size (odd, one, larger than the fleet) produces a
+    /// bit-identical [`FleetReport`]; tune it for throughput only.
+    #[must_use]
+    pub fn shard_users(mut self, shard_users: NonZeroUsize) -> Self {
+        self.fleet.shard_users = shard_users;
         self
     }
 
@@ -495,6 +592,8 @@ pub struct FleetReport {
     mean_active_fraction: f64,
     brownout_hours: u64,
     per_source: Vec<SourceSlice>,
+    cohorts: u32,
+    soa_bytes_per_user: u32,
 }
 
 impl FleetReport {
@@ -546,6 +645,23 @@ impl FleetReport {
     pub fn per_source(&self) -> &[SourceSlice] {
         &self.per_source
     }
+
+    /// Number of distinct `(operating points, alpha)` cohorts in the
+    /// population — users in one cohort share a single cached plan
+    /// frontier in the SoA core.
+    #[must_use]
+    pub fn cohorts(&self) -> u32 {
+        self.cohorts
+    }
+
+    /// Resident SoA state per user in bytes (per-user arrays plus the
+    /// amortized shared cohort tables and base traces), rounded up; `0`
+    /// when the run used the scalar fallback engine
+    /// ([`Policy::Horizon`]).
+    #[must_use]
+    pub fn soa_bytes_per_user(&self) -> u32 {
+        self.soa_bytes_per_user
+    }
 }
 
 impl fmt::Display for FleetReport {
@@ -583,18 +699,30 @@ impl FleetAccumulator {
         }
     }
 
+    /// Reduces a scalar-engine [`SimReport`] to per-user scalars and
+    /// absorbs them — the same reduction the SoA core performs inline.
     fn absorb(&mut self, user: u32, report: &SimReport) {
         let trace_hours = f64::from(self.days) * 24.0;
-        let accuracy = report.mean_accuracy();
-        let active_fraction = report.total_active_time().hours() / trace_hours;
-        self.accuracies.push(accuracy);
-        self.active_fractions.push(active_fraction);
-        self.brownout_hours += report.brownout_hours() as u64;
+        self.absorb_outcome(
+            user,
+            &crate::soa::UserOutcome {
+                accuracy: report.mean_accuracy(),
+                active_fraction: report.total_active_time().hours() / trace_hours,
+                brownout_hours: report.brownout_hours() as u32,
+                harvested_j: report.total_harvested().joules(),
+            },
+        );
+    }
+
+    fn absorb_outcome(&mut self, user: u32, outcome: &crate::soa::UserOutcome) {
+        self.accuracies.push(outcome.accuracy);
+        self.active_fractions.push(outcome.active_fraction);
+        self.brownout_hours += u64::from(outcome.brownout_hours);
         let slot = &mut self.source_sums[user as usize % self.sources.len()];
         slot.0 += 1;
-        slot.1 += accuracy;
-        slot.2 += active_fraction;
-        slot.3 += report.total_harvested().joules();
+        slot.1 += outcome.accuracy;
+        slot.2 += outcome.active_fraction;
+        slot.3 += outcome.harvested_j;
     }
 
     fn finish(self) -> FleetReport {
@@ -624,6 +752,9 @@ impl FleetAccumulator {
             active_fraction: Percentiles::of(self.active_fractions),
             brownout_hours: self.brownout_hours,
             per_source,
+            // Filled in by `Fleet::run_with_threads` from the SoA build.
+            cohorts: 0,
+            soa_bytes_per_user: 0,
         }
     }
 }
@@ -800,6 +931,45 @@ mod tests {
                 .run_with_threads(Some(NonZeroUsize::new(threads).unwrap()))
                 .unwrap();
             assert_eq!(capped, unbounded, "{threads}-thread fleet run diverged");
+        }
+    }
+
+    #[test]
+    fn odd_shard_sizes_produce_bit_identical_reports() {
+        // Shards are a throughput knob only: slicing 21 users into
+        // 1-user, odd, default, or oversized shards must not move a
+        // single bit of the report.
+        let with_shard = |shard: usize| {
+            Fleet::builder(base_points())
+                .users(21)
+                .days(2)
+                .seed(7)
+                .shard_users(NonZeroUsize::new(shard).unwrap())
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let baseline = small_fleet(21, 2).run().unwrap();
+        for shard in [1usize, 3, 7, 13, 1000] {
+            assert_eq!(with_shard(shard), baseline, "shard size {shard} diverged");
+        }
+        // The scalar-fallback policy honors the same invariant.
+        let horizon = |shard: usize| {
+            Fleet::builder(base_points())
+                .users(5)
+                .days(1)
+                .seed(7)
+                .policy(Policy::Horizon { lookahead: 4 })
+                .shard_users(NonZeroUsize::new(shard).unwrap())
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let h_baseline = horizon(DEFAULT_SHARD_USERS);
+        for shard in [1usize, 2, 3] {
+            assert_eq!(horizon(shard), h_baseline, "horizon shard {shard} diverged");
         }
     }
 

@@ -47,6 +47,7 @@ mod matrix;
 mod recognition;
 mod report;
 mod scenario;
+pub mod soa;
 
 pub use activity_stream::ActivityStream;
 pub use engine::Policy;
@@ -57,3 +58,4 @@ pub use matrix::{run_matrix, run_matrix_with_threads};
 pub use recognition::{sample_hour, sample_report, HourRecognitions};
 pub use report::{HourRecord, SimReport};
 pub use scenario::{AllocatorKind, BudgetMode, ForecasterKind, Scenario, ScenarioBuilder};
+pub use soa::{SoaFleet, UserOutcome};

@@ -1,0 +1,951 @@
+//! The data-oriented fleet core: struct-of-arrays hour stepping.
+//!
+//! The scalar engine ([`crate::engine`]) simulates one user at a time,
+//! with per-user heap state (boxed allocator, `Schedule`s, an
+//! `HourRecord` per hour). That is the right shape for replaying one
+//! user; it is the wrong shape for a million. This module batches the
+//! **entire population through each simulated hour**:
+//!
+//! * fleet state lives in flat arrays (battery joules, EWMA slots,
+//!   accumulators as `Vec<f64>`; cohort ids as `Vec<u32>`), stepped by
+//!   tight per-hour kernels that allocate nothing per user;
+//! * users sharing `(operating points, alpha)` form a *cohort* and
+//!   resolve through one cached [`FrontierTable`] — the frontier build is
+//!   shared and each hourly budget lookup is a pointer-free linear
+//!   interpolation ([`reap_core::FrontierTable::eval`]);
+//! * users on the same harvest source share one base trace and store
+//!   only their [`TracePerturbation`](reap_harvest::TracePerturbation)
+//!   (16 bytes) instead of a materialized month;
+//! * users are processed in shards ([`FleetBuilder::shard_users`]
+//!   (crate::FleetBuilder::shard_users)): one shard's state walks all
+//!   hours before the next shard starts, so the working set stays
+//!   cache-resident, and shards parallelize across worker threads.
+//!
+//! Every per-user arithmetic step replicates the scalar engine's
+//! operations in the same order on the same values, so per-user outcomes
+//! are bit-identical to [`Fleet::user_scenario`] replay — a property the
+//! `soa_equivalence` tests pin (to 1e-12, though in practice exact).
+//! [`Policy::Horizon`] is the exception: its joint LP keeps genuinely
+//! per-user state, so the fleet falls back to the scalar engine for it.
+
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use reap_core::{OperatingPoint, ReapProblem};
+use reap_harvest::{Battery, SourceKind};
+use reap_units::Power;
+
+use crate::engine::Policy;
+use crate::fleet::Fleet;
+use crate::{AllocatorKind, SimError};
+
+/// The EWMA allocator's smoothing factor (`EwmaAllocator::new`).
+const EWMA_ALPHA: f64 = 0.5;
+/// The EWMA / uniform-daily allocators' battery gain.
+const BATTERY_GAIN: f64 = 0.1;
+/// The greedy allocator's battery gain.
+const GREEDY_GAIN: f64 = 0.25;
+/// The engine's brownout tolerance: a delivery within 1e-12 J of the
+/// deficit still counts as a fully realized hour.
+const BROWNOUT_EPS_J: f64 = 1e-12;
+/// `Schedule::new` drops allocations at or below this duration.
+const DROP_S: f64 = 1e-6;
+
+/// Per-user final scalars of one fleet run — exactly what
+/// [`FleetReport`](crate::FleetReport) aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UserOutcome {
+    /// Mean realized accuracy per hour (`SimReport::mean_accuracy`).
+    pub accuracy: f64,
+    /// Realized active time over the whole trace duration, in `[0, 1]`.
+    pub active_fraction: f64,
+    /// Hours in which the user's plan browned out.
+    pub brownout_hours: u32,
+    /// Total energy harvested over the trace, in joules.
+    pub harvested_j: f64,
+}
+
+/// The per-cohort scalars a [`Policy::Static`] plan needs.
+#[derive(Debug, Clone, Copy)]
+struct StaticPoint {
+    acc: f64,
+    power_w: f64,
+    marginal_w: f64,
+}
+
+/// A cohort's plan in one of the two constant regimes of its frontier:
+/// at the budget floor (every sub-floor budget clamps up to it) or at
+/// saturation (every budget at or above the last breakpoint buys the
+/// same plan). Most simulated hours land in one of the two — dark hours
+/// pin the budget to the floor, bright hours overshoot the frontier — so
+/// the plan pass resolves them from this cache without touching the
+/// frontier arena.
+#[derive(Debug, Clone, Copy)]
+struct CachedPlan {
+    acc: f64,
+    act_s: f64,
+    pen_j: f64,
+}
+
+/// One frontier breakpoint in the cohort vertex arena:
+/// [`reap_core::FrontierTable`]'s per-vertex columns interleaved, so one
+/// budget eval touches a single contiguous ~200-byte run instead of five
+/// heap arrays behind a table pointer.
+#[derive(Debug, Clone, Copy)]
+struct Vert {
+    budget: f64,
+    acc: f64,
+    pow_w: f64,
+    id: u8,
+    has: bool,
+}
+
+/// A contiguous run of permuted users sharing `(base trace, phase)`, so
+/// the hour kernel hoists the base-trace lookup out of the user loop.
+#[derive(Debug, Clone, Copy)]
+struct Group {
+    start: usize,
+    end: usize,
+    trace: u32,
+    phase: u32,
+}
+
+/// How the hour kernel plans: the cohort frontier vertex arena for REAP,
+/// cohort point scalars for the statics, or not at all (scalar fallback).
+#[derive(Debug)]
+enum PlanKernel {
+    Reap,
+    Static(Vec<StaticPoint>),
+    Scalar,
+}
+
+/// A fleet flattened into struct-of-arrays form, ready to step every
+/// user through each simulated hour.
+///
+/// Built once per run from a [`Fleet`] (cohort deduplication, base-trace
+/// generation, and the user permutation all happen here); [`SoaFleet::run`]
+/// afterwards touches only flat arrays. Population statistics
+/// ([`SoaFleet::cohorts`], [`SoaFleet::bytes_per_user`]) are available
+/// whether or not the policy runs on the SoA kernels.
+#[derive(Debug)]
+pub struct SoaFleet {
+    users: usize,
+    hours: usize,
+    days: u32,
+    shard_users: usize,
+    allocator: AllocatorKind,
+    kernel: PlanKernel,
+    // Problem constants (identical across cohorts: the fleet fixes the
+    // off power and period for every user).
+    floor_j: f64,
+    tp_s: f64,
+    off_w: f64,
+    // Battery constants (every fleet user starts from the same battery).
+    cap_j: f64,
+    init_j: f64,
+    eff_c: f64,
+    eff_d: f64,
+    /// Shared base traces in joules, one per distinct source kind used.
+    traces: Vec<Vec<f64>>,
+    /// Permuted position -> original user index.
+    perm: Vec<u32>,
+    /// Per permuted position: trace gain.
+    gain: Vec<f64>,
+    /// Per permuted position: cohort id.
+    cohort: Vec<u32>,
+    /// Contiguous `(trace, phase)` runs over permuted positions.
+    groups: Vec<Group>,
+    /// Frontier vertices of every REAP cohort, one interleaved arena.
+    /// Cohorts are numbered in permuted first-use order, so the hour
+    /// kernel reads this in ascending offsets across a shard.
+    verts: Vec<Vert>,
+    /// Per cohort: its vertex run is `verts[vert_off[c]..vert_off[c+1]]`
+    /// (`cohorts + 1` entries; empty unless the kernel is REAP).
+    vert_off: Vec<u32>,
+    /// Per cohort: the plan at the budget floor.
+    floor_plan: Vec<CachedPlan>,
+    /// Per cohort: the plan at frontier saturation.
+    sat_plan: Vec<CachedPlan>,
+    /// Per cohort: the saturation budget (`f64::INFINITY` disables the
+    /// fast path, e.g. for static plans whose cap is rounding-sensitive).
+    sat_budget: Vec<f64>,
+    cohorts: u32,
+    bytes_per_user: u32,
+}
+
+impl SoaFleet {
+    /// Flattens `fleet` into SoA form: generates the shared base traces,
+    /// derives every user's parameters, deduplicates cohorts (building
+    /// one frontier table or static point per cohort), and sorts users
+    /// into `(source, phase)` groups.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harvest/optimizer construction failures, exactly as
+    /// per-user [`Fleet::user_scenario`] construction would.
+    pub fn new(fleet: &Fleet) -> Result<SoaFleet, SimError> {
+        let users = fleet.users as usize;
+        let hours = fleet.days as usize * 24;
+
+        // One shared base trace per distinct source kind, in first-use
+        // order; per-slot indirection covers repeated kinds.
+        let mut kinds: Vec<SourceKind> = Vec::new();
+        let mut slot_trace: Vec<u32> = Vec::with_capacity(fleet.sources.len());
+        for &kind in &fleet.sources {
+            let idx = match kinds.iter().position(|&k| k == kind) {
+                Some(i) => i,
+                None => {
+                    kinds.push(kind);
+                    kinds.len() - 1
+                }
+            };
+            slot_trace.push(idx as u32);
+        }
+        let mut traces: Vec<Vec<f64>> = Vec::with_capacity(kinds.len());
+        for &kind in &kinds {
+            let base = fleet.base_trace(kind)?;
+            traces.push(base.iter().map(|e| e.joules()).collect());
+        }
+
+        // Per-user parameters and cohort deduplication. The cohort key is
+        // the exact bit pattern of (alpha, per-point id/accuracy/power):
+        // cohort mates share every input of the frontier build.
+        let wants_tables = matches!(fleet.policy, Policy::Reap | Policy::Static(_));
+        let mut cohort_map: HashMap<Vec<u64>, u32> = HashMap::new();
+        let mut cohort_params: Vec<(f64, Vec<OperatingPoint>)> = Vec::new();
+        let mut gain_user = vec![0.0f64; users];
+        let mut phase_user = vec![0u32; users];
+        let mut cohort_user = vec![0u32; users];
+        for u in 0..users {
+            let params = fleet.user_params(u as u32)?;
+            gain_user[u] = params.perturbation.gain();
+            phase_user[u] = params.perturbation.phase_hours();
+            let mut key = Vec::with_capacity(1 + 3 * params.points.len());
+            key.push(params.alpha.to_bits());
+            for p in &params.points {
+                key.push(u64::from(p.id()));
+                key.push(p.accuracy().to_bits());
+                key.push(p.power().watts().to_bits());
+            }
+            cohort_user[u] = match cohort_map.get(&key) {
+                Some(&id) => id,
+                None => {
+                    let id = cohort_map.len() as u32;
+                    cohort_params.push((params.alpha, params.points));
+                    cohort_map.insert(key, id);
+                    id
+                }
+            };
+        }
+        let cohorts = cohort_map.len() as u32;
+
+        // Permute users so same-(source, phase) runs are contiguous: the
+        // kernel then reads one base-trace hour per run instead of per
+        // user. Per-user arithmetic is order-independent, so this cannot
+        // change any outcome bit.
+        let mut perm: Vec<u32> = (0..fleet.users).collect();
+        let slots = fleet.sources.len() as u32;
+        perm.sort_by_key(|&u| (u % slots, phase_user[u as usize], u));
+        let gain: Vec<f64> = perm.iter().map(|&u| gain_user[u as usize]).collect();
+
+        // Renumber cohorts by first use in *permuted* order: every
+        // cohort-indexed array (vertex arena, cached plans) is then read
+        // in ascending offsets as the hour kernel walks a shard —
+        // streaming access instead of scattered. A pure renaming, so no
+        // outcome bit can change.
+        let mut old2new = vec![u32::MAX; cohorts as usize];
+        let mut order: Vec<u32> = Vec::with_capacity(cohorts as usize);
+        for &u in &perm {
+            let oc = cohort_user[u as usize] as usize;
+            if old2new[oc] == u32::MAX {
+                old2new[oc] = order.len() as u32;
+                order.push(oc as u32);
+            }
+        }
+        let cohort: Vec<u32> = perm
+            .iter()
+            .map(|&u| old2new[cohort_user[u as usize] as usize])
+            .collect();
+        let mut groups: Vec<Group> = Vec::new();
+        for (pos, &u) in perm.iter().enumerate() {
+            let trace = slot_trace[(u % slots) as usize];
+            let phase = phase_user[u as usize];
+            match groups.last_mut() {
+                Some(g) if g.trace == trace && g.phase == phase => g.end = pos + 1,
+                _ => groups.push(Group {
+                    start: pos,
+                    end: pos + 1,
+                    trace,
+                    phase,
+                }),
+            }
+        }
+
+        let battery = Battery::small_wearable();
+        let eff_d = battery.discharge_efficiency();
+
+        // Build every cohort's plan data in renumbered order: the shared
+        // frontier vertex arena plus the two constant plan regimes (see
+        // [`CachedPlan`]). The cached plans are plain `FrontierTable`
+        // eval results, so resolving an hour from them is bit-identical
+        // to evaluating the table at any budget in the regime.
+        let mut floor_j = Power::from_microwatts(50.0).watts() * 3600.0;
+        let mut tp_s = 3600.0;
+        let mut off_w = Power::from_microwatts(50.0).watts();
+        let mut verts: Vec<Vert> = Vec::new();
+        let mut vert_off: Vec<u32> = Vec::new();
+        let mut statics: Vec<StaticPoint> = Vec::new();
+        let mut floor_plan = Vec::with_capacity(cohorts as usize);
+        let mut sat_plan = Vec::with_capacity(cohorts as usize);
+        let mut sat_budget = Vec::with_capacity(cohorts as usize);
+        let cache = |pe: reap_core::PlanEval| CachedPlan {
+            acc: pe.accuracy,
+            act_s: pe.active_s,
+            pen_j: pe.energy_j,
+        };
+        if wants_tables {
+            for &oc in &order {
+                let (alpha, points) = &cohort_params[oc as usize];
+                let problem = ReapProblem::builder()
+                    .alpha(*alpha)
+                    .off_power(Power::from_microwatts(50.0))
+                    .points(points.clone())
+                    .build()?;
+                floor_j = problem.min_budget().joules();
+                tp_s = problem.period().seconds();
+                off_w = problem.off_power().watts();
+                match fleet.policy {
+                    Policy::Reap => {
+                        let t = problem.frontier().table();
+                        vert_off.push(verts.len() as u32);
+                        for k in 0..t.len() {
+                            let (budget, acc, pow_w, id, has) = t.vertex(k);
+                            verts.push(Vert {
+                                budget,
+                                acc,
+                                pow_w,
+                                id,
+                                has,
+                            });
+                        }
+                        floor_plan.push(cache(t.eval(floor_j)));
+                        let sb = t.max_budget_j();
+                        sat_plan.push(cache(t.eval(sb)));
+                        sat_budget.push(sb);
+                    }
+                    Policy::Static(pid) => {
+                        let p = problem.point(pid)?;
+                        statics.push(StaticPoint {
+                            acc: p.accuracy(),
+                            power_w: p.power().watts(),
+                            marginal_w: p.power().watts() - off_w,
+                        });
+                        // At the floor the clamped on-time is exactly
+                        // zero, so the schedule drops the point and only
+                        // the off power burns: the same scalars the
+                        // inline formula produces.
+                        let plan = CachedPlan {
+                            acc: 0.0,
+                            act_s: 0.0,
+                            pen_j: off_w * tp_s,
+                        };
+                        floor_plan.push(plan);
+                        sat_plan.push(plan);
+                        // The static saturation threshold depends on
+                        // division rounding; stay on the exact inline
+                        // formula instead.
+                        sat_budget.push(f64::INFINITY);
+                    }
+                    Policy::Horizon { .. } => unreachable!("gated by wants_tables"),
+                }
+            }
+            vert_off.push(verts.len() as u32);
+        }
+        let kernel = match fleet.policy {
+            Policy::Reap => PlanKernel::Reap,
+            Policy::Static(_) => PlanKernel::Static(statics),
+            Policy::Horizon { .. } => PlanKernel::Scalar,
+        };
+
+        let mut soa = SoaFleet {
+            users,
+            hours,
+            days: fleet.days,
+            shard_users: fleet.shard_users.get(),
+            allocator: fleet.allocator,
+            kernel,
+            floor_j,
+            tp_s,
+            off_w,
+            cap_j: battery.capacity().joules(),
+            init_j: battery.level().joules(),
+            eff_c: battery.charge_efficiency(),
+            eff_d,
+            traces,
+            perm,
+            gain,
+            cohort,
+            groups,
+            verts,
+            vert_off,
+            floor_plan,
+            sat_plan,
+            sat_budget,
+            cohorts,
+            bytes_per_user: 0,
+        };
+        soa.bytes_per_user = soa.compute_bytes_per_user();
+        Ok(soa)
+    }
+
+    /// Number of distinct `(operating points, alpha)` cohorts.
+    #[must_use]
+    pub fn cohorts(&self) -> u32 {
+        self.cohorts
+    }
+
+    /// Resident SoA bytes per user: per-user parameter and state arrays,
+    /// plus the shared base traces and cohort tables amortized over the
+    /// population. Rounded up.
+    #[must_use]
+    pub fn bytes_per_user(&self) -> u32 {
+        self.bytes_per_user
+    }
+
+    /// `true` when the configured policy runs on the SoA kernels
+    /// ([`Policy::Reap`] / [`Policy::Static`]); `false` for the scalar
+    /// fallback ([`Policy::Horizon`]).
+    #[must_use]
+    pub fn supports_policy(&self) -> bool {
+        !matches!(self.kernel, PlanKernel::Scalar)
+    }
+
+    fn compute_bytes_per_user(&self) -> u32 {
+        let f = std::mem::size_of::<f64>();
+        // Parameters: perm + gain + cohort.
+        let mut per_user = 4 + f + 4;
+        // Run state: real/virtual battery, last harvest, three f64
+        // accumulators, brownout counter.
+        per_user += 6 * f + 4;
+        // Allocator state.
+        per_user += match self.allocator {
+            AllocatorKind::Ewma => 24 * f + f, // slots + seeding sum
+            AllocatorKind::UniformDaily => 24 * f,
+            AllocatorKind::Greedy => 0,
+        };
+        per_user += std::mem::size_of::<UserOutcome>();
+        let mut shared = self.traces.iter().map(|t| t.len() * f).sum::<usize>();
+        shared += self.groups.len() * std::mem::size_of::<Group>();
+        match &self.kernel {
+            PlanKernel::Reap => {
+                shared += self.verts.len() * std::mem::size_of::<Vert>() + self.vert_off.len() * 4;
+            }
+            PlanKernel::Static(statics) => {
+                shared += statics.len() * std::mem::size_of::<StaticPoint>();
+            }
+            PlanKernel::Scalar => {}
+        }
+        shared += (self.floor_plan.len() + self.sat_plan.len()) * std::mem::size_of::<CachedPlan>()
+            + self.sat_budget.len() * f;
+        let total = per_user * self.users + shared;
+        total.div_ceil(self.users).min(u32::MAX as usize) as u32
+    }
+
+    /// Steps every user through every hour, returning per-user outcomes
+    /// in **original user order**. Shards run across up to `max_threads`
+    /// workers (`None` = available parallelism); outcomes are
+    /// bit-identical for every thread count and every shard size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the policy needs the scalar fallback
+    /// (`!self.supports_policy()`); [`Fleet::run`] routes those runs to
+    /// the scalar engine instead.
+    #[must_use]
+    pub fn run(&self, max_threads: Option<NonZeroUsize>) -> Vec<UserOutcome> {
+        assert!(
+            self.supports_policy(),
+            "SoA kernels do not cover this policy; use the scalar engine"
+        );
+        let shard = self.shard_users;
+        let shards: Vec<(usize, usize)> = (0..self.users)
+            .step_by(shard)
+            .map(|a| (a, (a + shard).min(self.users)))
+            .collect();
+        let threads = max_threads
+            .map(NonZeroUsize::get)
+            .or_else(|| {
+                std::thread::available_parallelism()
+                    .ok()
+                    .map(NonZeroUsize::get)
+            })
+            .unwrap_or(1)
+            .min(shards.len());
+
+        let mut out = vec![UserOutcome::default(); self.users];
+        if threads <= 1 {
+            for &(a, b) in &shards {
+                self.scatter(&mut out, a, self.run_shard(a, b));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<Vec<UserOutcome>>>> =
+                shards.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let s = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(a, b)) = shards.get(s) else { break };
+                        let shard_out = self.run_shard(a, b);
+                        *slots[s].lock().expect("shard slot poisoned") = Some(shard_out);
+                    });
+                }
+            });
+            for (&(a, _), slot) in shards.iter().zip(slots) {
+                let shard_out = slot
+                    .into_inner()
+                    .expect("shard slot poisoned")
+                    .expect("every shard index was claimed by a worker");
+                self.scatter(&mut out, a, shard_out);
+            }
+        }
+        out
+    }
+
+    /// Writes a shard's outcomes (permuted positions `a..`) back to
+    /// original user indices.
+    fn scatter(&self, out: &mut [UserOutcome], a: usize, shard_out: Vec<UserOutcome>) {
+        for (j, o) in shard_out.into_iter().enumerate() {
+            out[self.perm[a + j] as usize] = o;
+        }
+    }
+
+    /// Steps permuted positions `[a, b)` through every hour. All state is
+    /// shard-local and heap-allocated once, before the hour loop.
+    #[allow(clippy::too_many_lines)]
+    fn run_shard(&self, a: usize, b: usize) -> Vec<UserOutcome> {
+        let nu = b - a;
+        let gain = &self.gain[a..b];
+        let cohort = &self.cohort[a..b];
+        // Groups clipped to this shard, rebased to shard-local indices.
+        let groups: Vec<Group> = self
+            .groups
+            .iter()
+            .filter(|g| g.start < b && g.end > a)
+            .map(|g| Group {
+                start: g.start.max(a) - a,
+                end: g.end.min(b) - a,
+                trace: g.trace,
+                phase: g.phase,
+            })
+            .collect();
+
+        // Mutable per-user state, flat.
+        let mut bat = vec![self.init_j; nu];
+        let mut vbat = vec![self.init_j; nu];
+        let mut last_h = vec![0.0f64; nu];
+        let mut acc_sum = vec![0.0f64; nu];
+        let mut act_sum = vec![0.0f64; nu];
+        let mut harv_sum = vec![0.0f64; nu];
+        let mut brow = vec![0u32; nu];
+        // EWMA slots, slot-major (`est[slot * nu + u]`), plus the running
+        // seeded-slot sum backing the cold-start mean.
+        let mut est = match self.allocator {
+            AllocatorKind::Ewma => vec![0.0f64; 24 * nu],
+            _ => Vec::new(),
+        };
+        let mut est_sum = match self.allocator {
+            AllocatorKind::Ewma => vec![0.0f64; nu],
+            _ => Vec::new(),
+        };
+        // Uniform-daily window, user-major (`win[u * 24 + slot]`).
+        let mut win = match self.allocator {
+            AllocatorKind::UniformDaily => vec![0.0f64; 24 * nu],
+            _ => Vec::new(),
+        };
+
+        let (cap_j, eff_c, eff_d) = (self.cap_j, self.eff_c, self.eff_d);
+        let vtarget_j = cap_j * 0.5;
+        let floor_j = self.floor_j;
+        let tp = self.tp_s;
+        let off_w = self.off_w;
+
+        // Per-hour stage temporaries: budgets out of the allocator pass,
+        // plan scalars out of the plan pass. Splitting the hour into
+        // array passes keeps the allocator and execute loops free of
+        // data-dependent branches (each engine conditional merges: its
+        // untaken side contributes exactly zero, see the stage comments),
+        // which lets them vectorize; only the plan pass stays scalar.
+        let mut budget_t = vec![0.0f64; nu];
+        let mut pacc_t = vec![0.0f64; nu];
+        let mut pact_t = vec![0.0f64; nu];
+        let mut pen_t = vec![0.0f64; nu];
+
+        for i in 0..self.hours {
+            let day = i / 24;
+            let hod = i % 24;
+
+            // EWMA observe pass: every user folds last hour's harvest
+            // into the previous slot — seeding it on the first day,
+            // blending afterwards (`EwmaAllocator::allocate`). The very
+            // first call carries no real sample and is discarded.
+            if matches!(self.allocator, AllocatorKind::Ewma) && i >= 1 {
+                let prev = (hod + 23) % 24;
+                let est_prev = &mut est[prev * nu..prev * nu + nu];
+                if i >= 25 {
+                    for (e, &h) in est_prev.iter_mut().zip(&last_h) {
+                        *e = (1.0 - EWMA_ALPHA) * *e + EWMA_ALPHA * h;
+                    }
+                } else {
+                    for ((e, s), &h) in est_prev.iter_mut().zip(&mut est_sum).zip(&last_h) {
+                        *e = h;
+                        *s += h;
+                    }
+                }
+            }
+
+            // Stage 1: allocator proposal against the *virtual* battery,
+            // open-loop clamp and virtual charge/spend
+            // (`open_loop_budgets`), one branch-free loop per
+            // `(trace, phase)` group and allocator regime. The engine's
+            // conditionals merge bit-exactly: a zero-harvest charge
+            // stores exactly `+0.0`, and a floor budget divides to
+            // exactly `floor_j / eff_d`, so the unconditional forms
+            // change no bit.
+            macro_rules! step1 {
+                ($u:expr, $base_e:expr, $expected:expr, $cg:expr) => {{
+                    let u = $u;
+                    let h = $base_e * gain[u];
+                    let correction = (vbat[u] - vtarget_j) * $cg;
+                    let proposed = ($expected + correction).max(0.0);
+                    let avail = vbat[u] * eff_d + h;
+                    let budget = proposed.min(avail).max(floor_j.min(avail));
+                    vbat[u] += (h * eff_c).min(cap_j - vbat[u]);
+                    let vdrawn = (budget / eff_d).min(vbat[u]);
+                    vbat[u] -= vdrawn;
+                    last_h[u] = h;
+                    budget_t[u] = budget;
+                }};
+            }
+            // Index loops, not zipped iterators: `step1!` writes six
+            // columns at `u` and per-regime inputs read one more.
+            #[allow(clippy::needless_range_loop)]
+            for g in &groups {
+                let src = (hod as u32 + g.phase) % 24;
+                let base_e = self.traces[g.trace as usize][day * 24 + src as usize];
+                let (lo, hi) = (g.start, g.end);
+                match self.allocator {
+                    AllocatorKind::Ewma if i >= 24 => {
+                        // This hour's slot estimates, hoisted: the slot
+                        // index is fixed across the shard all hour.
+                        let est_cur = &est[hod * nu..hod * nu + nu];
+                        for u in lo..hi {
+                            step1!(u, base_e, est_cur[u], BATTERY_GAIN);
+                        }
+                    }
+                    AllocatorKind::Ewma if i == 0 => {
+                        // The discarded first call expects nothing.
+                        for u in lo..hi {
+                            step1!(u, base_e, 0.0, BATTERY_GAIN);
+                        }
+                    }
+                    AllocatorKind::Ewma => {
+                        // Unseen slot: mean of the seeded slots (the sum
+                        // accumulates in ascending slot order).
+                        let i_f = i as f64;
+                        for u in lo..hi {
+                            step1!(u, base_e, est_sum[u] / i_f, BATTERY_GAIN);
+                        }
+                    }
+                    AllocatorKind::Greedy => {
+                        for u in lo..hi {
+                            step1!(u, base_e, last_h[u], GREEDY_GAIN);
+                        }
+                    }
+                    AllocatorKind::UniformDaily => {
+                        let divisor = if i >= 23 { 24.0 } else { (i + 1) as f64 };
+                        for u in lo..hi {
+                            let w = &mut win[u * 24..u * 24 + 24];
+                            w[hod] = last_h[u];
+                            let daily: f64 = w.iter().sum();
+                            step1!(u, base_e, daily / divisor, BATTERY_GAIN);
+                        }
+                    }
+                }
+            }
+
+            // Stage 2: plan. Most hours land in a constant frontier
+            // regime (floor or saturation) and resolve from the cohort
+            // cache; the rest take the full frontier eval (REAP) or the
+            // static duty-cycle formula. All three produce the scalar
+            // engine's schedule scalars bit for bit.
+            match &self.kernel {
+                PlanKernel::Reap => {
+                    for u in 0..nu {
+                        let c = cohort[u] as usize;
+                        let budget = budget_t[u];
+                        let (pacc, pact, pen) = if budget <= floor_j {
+                            let p = self.floor_plan[c];
+                            (p.acc, p.act_s, p.pen_j)
+                        } else if budget >= self.sat_budget[c] {
+                            let p = self.sat_plan[c];
+                            (p.acc, p.act_s, p.pen_j)
+                        } else {
+                            let lo = self.vert_off[c] as usize;
+                            let hi = self.vert_off[c + 1] as usize;
+                            let verts = &self.verts[lo..hi];
+                            // The first frontier segment — an off vertex
+                            // at the floor blending into the cheapest
+                            // point — absorbs nearly every interior
+                            // budget (~94% in the bench fleet), so it
+                            // gets a straight-line transliteration of
+                            // [`eval_verts`] for exactly that vertex
+                            // shape; everything else takes the general
+                            // walk.
+                            let seg0 = verts.len() >= 2
+                                && budget < verts[1].budget
+                                && !verts[0].has
+                                && verts[1].has;
+                            if seg0 {
+                                let lo_b = verts[0].budget;
+                                let lambda =
+                                    ((budget - lo_b) / (verts[1].budget - lo_b)).clamp(0.0, 1.0);
+                                let t = lambda * tp;
+                                let off_s = (tp - t).max(0.0);
+                                if lambda > 0.0 && t > DROP_S {
+                                    (
+                                        verts[1].acc * (t / tp),
+                                        t,
+                                        verts[1].pow_w * t + off_w * off_s,
+                                    )
+                                } else {
+                                    (0.0, 0.0, off_w * off_s)
+                                }
+                            } else {
+                                eval_verts(verts, floor_j, tp, off_w, budget)
+                            }
+                        };
+                        pacc_t[u] = pacc;
+                        pact_t[u] = pact;
+                        pen_t[u] = pen;
+                    }
+                }
+                PlanKernel::Static(statics) => {
+                    for u in 0..nu {
+                        let c = cohort[u] as usize;
+                        let sp = statics[c];
+                        let eff = budget_t[u].max(floor_j);
+                        let t_on = ((eff - floor_j) / sp.marginal_w).clamp(0.0, tp);
+                        let off_s = tp - t_on;
+                        let (pacc, pact, pen) = if t_on > DROP_S {
+                            (
+                                sp.acc * (t_on / tp),
+                                t_on,
+                                sp.power_w * t_on + off_w * off_s,
+                            )
+                        } else {
+                            (0.0, 0.0, off_w * off_s)
+                        };
+                        pacc_t[u] = pacc;
+                        pact_t[u] = pact;
+                        pen_t[u] = pen;
+                    }
+                }
+                PlanKernel::Scalar => unreachable!("checked in run()"),
+            }
+
+            // Stage 3: execute — harvest first, then the real battery,
+            // browning out proportionally (`run_with_budgets`). The
+            // engine's charge/deficit branches merge: on a charging hour
+            // the deficit is exactly zero (so the discharge is a no-op)
+            // and vice versa, making the loop branch-free and the
+            // arithmetic bit-identical either way.
+            for u in 0..nu {
+                let h = last_h[u];
+                let pen = pen_t[u];
+                let stored = ((h - pen).max(0.0) * eff_c).min(cap_j - bat[u]);
+                bat[u] += stored;
+                let deficit = (pen - h).max(0.0);
+                let drawn = (deficit / eff_d).min(bat[u]);
+                bat[u] -= drawn;
+                let delivered = drawn * eff_d;
+                let rf = if delivered + BROWNOUT_EPS_J < deficit {
+                    if pen > 0.0 {
+                        ((h + delivered) / pen).clamp(0.0, 1.0)
+                    } else {
+                        1.0
+                    }
+                } else {
+                    1.0
+                };
+                acc_sum[u] += pacc_t[u] * rf;
+                act_sum[u] += pact_t[u] * rf;
+                brow[u] += u32::from(rf < 1.0);
+                harv_sum[u] += h;
+            }
+        }
+
+        let hours_f = self.hours as f64;
+        let trace_hours = f64::from(self.days) * 24.0;
+        (0..nu)
+            .map(|u| UserOutcome {
+                accuracy: acc_sum[u] / hours_f,
+                active_fraction: (act_sum[u] / 3600.0) / trace_hours,
+                brownout_hours: brow[u],
+                harvested_j: harv_sum[u],
+            })
+            .collect()
+    }
+}
+
+/// Evaluates a cohort's frontier at `budget_j` from its arena slice:
+/// [`reap_core::FrontierTable::eval`] transliterated onto the interleaved
+/// vertices, returning the same `(accuracy, active_s, energy_j)` bit for
+/// bit (the `soa_equivalence` proptests pin this against the scalar
+/// engine, which plans through the original frontier).
+#[inline]
+fn eval_verts(
+    verts: &[Vert],
+    min_budget_j: f64,
+    tp: f64,
+    off_w: f64,
+    budget_j: f64,
+) -> (f64, f64, f64) {
+    // `f64::max` maps NaN to the floor too, matching `Energy::max`.
+    let b = budget_j.max(min_budget_j);
+    let last = verts.len() - 1;
+    let (k, lambda) = if last == 0 {
+        (0, 0.0)
+    } else if b >= verts[last].budget {
+        (last - 1, 1.0)
+    } else {
+        // First vertex with budget > b. The table walks a data-dependent
+        // `while`; counting over the ascending budgets lands on the same
+        // index without the unpredictable branch.
+        let mut cnt = 0usize;
+        for v in &verts[1..last] {
+            cnt += usize::from(v.budget <= b);
+        }
+        let hi = 1 + cnt;
+        let lo_b = verts[hi - 1].budget;
+        (
+            hi - 1,
+            ((b - lo_b) / (verts[hi].budget - lo_b)).clamp(0.0, 1.0),
+        )
+    };
+    let hi_idx = (k + 1).min(last);
+
+    // Durations exactly as `PlanFrontier::solve` pushes them; the off
+    // time complements the *raw* active time (drops below come after).
+    let mut n = 0usize;
+    let mut dur = [0.0f64; 2];
+    let mut acc = [0.0f64; 2];
+    let mut pow = [0.0f64; 2];
+    let mut ids = [0u8; 2];
+    let mut active_raw = 0.0;
+    if verts[k].has {
+        let t = (1.0 - lambda) * tp;
+        active_raw += t;
+        dur[n] = t;
+        acc[n] = verts[k].acc;
+        pow[n] = verts[k].pow_w;
+        ids[n] = verts[k].id;
+        n = 1;
+    }
+    if lambda > 0.0 && verts[hi_idx].has {
+        let t = lambda * tp;
+        active_raw += t;
+        dur[n] = t;
+        acc[n] = verts[hi_idx].acc;
+        pow[n] = verts[hi_idx].pow_w;
+        ids[n] = verts[hi_idx].id;
+        n += 1;
+    }
+    let off_s = (tp - active_raw).max(0.0);
+
+    // `Schedule::new` sorts by point id and drops sub-microsecond
+    // allocations; the sums below run in the same (id) order.
+    if n == 2 && ids[1] < ids[0] {
+        dur.swap(0, 1);
+        acc.swap(0, 1);
+        pow.swap(0, 1);
+    }
+    let mut accuracy = 0.0;
+    let mut active_s = 0.0;
+    let mut active_e = 0.0;
+    for j in 0..n {
+        if dur[j] > DROP_S {
+            accuracy += acc[j] * (dur[j] / tp);
+            active_s += dur[j];
+            active_e += pow[j] * dur[j];
+        }
+    }
+    (accuracy, active_s, active_e + off_w * off_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reap_core::OperatingPoint;
+
+    fn base_points() -> Vec<OperatingPoint> {
+        vec![
+            OperatingPoint::new(1, "DP1", 0.94, Power::from_milliwatts(2.76)).unwrap(),
+            OperatingPoint::new(5, "DP5", 0.76, Power::from_milliwatts(1.20)).unwrap(),
+        ]
+    }
+
+    fn fleet(users: u32, days: u32) -> Fleet {
+        Fleet::builder(base_points())
+            .users(users)
+            .days(days)
+            .seed(11)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn cohorts_collapse_when_the_population_is_uniform() {
+        // No accuracy spread and a pinned alpha: every user shares one
+        // frontier.
+        let f = Fleet::builder(base_points())
+            .users(16)
+            .days(1)
+            .accuracy_spread(0.0)
+            .alpha_range(1.0, 1.0)
+            .build()
+            .unwrap();
+        let soa = SoaFleet::new(&f).unwrap();
+        assert_eq!(soa.cohorts(), 1);
+        // Default spread: every user is its own cohort.
+        let soa = SoaFleet::new(&fleet(16, 1)).unwrap();
+        assert_eq!(soa.cohorts(), 16);
+        assert!(soa.bytes_per_user() > 0);
+    }
+
+    #[test]
+    fn soa_outcomes_are_thread_count_invariant() {
+        let f = fleet(23, 2);
+        let soa = SoaFleet::new(&f).unwrap();
+        let one = soa.run(Some(NonZeroUsize::MIN));
+        for threads in [2usize, 4, 7] {
+            let many = soa.run(Some(NonZeroUsize::new(threads).unwrap()));
+            assert_eq!(one, many, "{threads}-thread SoA run diverged");
+        }
+    }
+
+    #[test]
+    fn horizon_policy_reports_scalar_fallback() {
+        let f = Fleet::builder(base_points())
+            .users(4)
+            .days(1)
+            .policy(Policy::Horizon { lookahead: 6 })
+            .build()
+            .unwrap();
+        let soa = SoaFleet::new(&f).unwrap();
+        assert!(!soa.supports_policy());
+        assert_eq!(soa.cohorts(), 4);
+    }
+}
