@@ -4,20 +4,30 @@
 //!
 //! ```text
 //! cargo run --release -p reap-bench --bin bench_check -- \
+//!     [--threshold 0.25] --discover <dir>
+//! cargo run --release -p reap-bench --bin bench_check -- \
 //!     [--threshold 0.25] <baseline.json> <fresh.json> [<baseline> <fresh> ...]
 //! ```
 //!
+//! `--discover <dir>` finds every committed `BENCH_<name>.json` baseline
+//! in the directory and pairs it with its regenerated
+//! `BENCH_<name>.ci.json` — a new bench joins the gate by existing, and a
+//! bench whose CI step stopped producing fresh numbers fails loudly
+//! instead of silently dropping out. Explicit pairs remain for local use.
+//!
 //! Each pair must share a known bench schema (`reap-bench/planner-v1`,
-//! `reap-bench/fleet-v2`, `reap-bench/mpc-v1`); the tracked throughput
-//! metrics per schema live in [`reap_bench::regression`]. The default
-//! threshold tolerates a 25% slowdown — wide enough for shared-runner
-//! noise, tight enough to catch a hot path falling off a cliff.
+//! `reap-bench/fleet-v2`, `reap-bench/mpc-v1`, `reap-bench/serve-v1`);
+//! the tracked throughput metrics per schema live in
+//! [`reap_bench::regression`]. The default threshold tolerates a 25%
+//! slowdown — wide enough for shared-runner noise, tight enough to catch
+//! a hot path falling off a cliff.
 
-use reap_bench::regression::compare;
+use reap_bench::regression::{compare, discover_pairs};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threshold = 0.25f64;
+    let mut discover: Option<String> = None;
     let mut paths = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -28,13 +38,36 @@ fn main() {
             threshold = value
                 .parse()
                 .unwrap_or_else(|_| panic!("--threshold expects a number, got {value:?}"));
+        } else if arg == "--discover" {
+            let value = iter
+                .next()
+                .unwrap_or_else(|| panic!("--discover needs a directory"));
+            discover = Some(value.clone());
         } else {
             paths.push(arg.clone());
         }
     }
+    if let Some(dir) = discover {
+        assert!(
+            paths.is_empty(),
+            "--discover and explicit pairs are mutually exclusive"
+        );
+        match discover_pairs(std::path::Path::new(&dir)) {
+            Ok(pairs) => {
+                for (baseline, fresh) in pairs {
+                    paths.push(baseline.display().to_string());
+                    paths.push(fresh.display().to_string());
+                }
+            }
+            Err(message) => {
+                println!("bench discovery in {dir}: {message} .. FAILED");
+                std::process::exit(1);
+            }
+        }
+    }
     assert!(
         !paths.is_empty() && paths.len() % 2 == 0,
-        "usage: bench_check [--threshold 0.25] <baseline.json> <fresh.json> ..."
+        "usage: bench_check [--threshold 0.25] --discover <dir> | <baseline.json> <fresh.json> ..."
     );
 
     println!(

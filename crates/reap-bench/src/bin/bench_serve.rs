@@ -1,0 +1,165 @@
+//! Loopback load generator for the `reap-serve` daemon: measures the
+//! served request path (real TCP, real protocol framing) rather than the
+//! in-process library path, and writes a machine-readable baseline
+//! (`BENCH_serve.json`) that `bench_check` gates in CI.
+//!
+//! ```text
+//! cargo run --release -p reap-bench --bin bench_serve [-- <output.json>] [--quick]
+//! ```
+//!
+//! An in-process server binds `127.0.0.1:0` (kernel-assigned port — no
+//! hardcoded ports) holding the standard 2000-user bench fleet resident.
+//! Eight client threads connect, stream one simulated day of observations
+//! each to warm the resident EWMA/battery state, then hammer `decide` —
+//! the cached-frontier lookup path — recording client-side round-trip
+//! latencies in a merged histogram. Throughput is the best of three
+//! measured rounds (the work is identical each round; the minimum wall
+//! time isolates the request path from scheduler noise).
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use reap_bench::{has_quick_flag, CharMode};
+use reap_serve::{Client, FleetState, LatencyHistogram, Request, Response, Server, ServerConfig};
+use reap_sim::Fleet;
+
+/// Resident users — matches the fleet bench population.
+const SERVE_USERS: u32 = 2000;
+/// Concurrent client connections.
+const CLIENT_THREADS: usize = 8;
+/// Measured decide requests per thread per round.
+const DECIDES_PER_THREAD: usize = 25_000;
+/// Measured rounds; the fastest is reported.
+const ROUNDS: usize = 3;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = has_quick_flag(&args);
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let users = if quick { 64 } else { SERVE_USERS };
+    let decides_per_thread = if quick { 500 } else { DECIDES_PER_THREAD };
+    let rounds = if quick { 1 } else { ROUNDS };
+
+    let fleet = Fleet::builder(reap_bench::operating_points(CharMode::Paper, true))
+        .users(users)
+        .seed(reap_bench::BENCH_SEED)
+        .build()
+        .expect("valid fleet");
+    let state = FleetState::new(&fleet, 16).expect("fleet state builds");
+    let server = Server::bind("127.0.0.1:0", state, ServerConfig::default()).expect("bind port 0");
+    let addr = server.local_addr();
+    let serving = std::thread::spawn(move || server.serve());
+
+    println!(
+        "serve bench: {users} resident users, {CLIENT_THREADS} client threads x \
+         {decides_per_thread} decides x {rounds} round(s) against {addr} ({out_path})"
+    );
+    println!("=============================================================");
+
+    let barrier = Arc::new(Barrier::new(CLIENT_THREADS));
+    let workers: Vec<_> = (0..CLIENT_THREADS)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let owned: Vec<u32> = (t as u32..users).step_by(CLIENT_THREADS).collect();
+                // Warm the resident state: one simulated day per owned user.
+                for hour in 0..24u32 {
+                    for &user in &owned {
+                        let harvest_j = f64::from((user * 7 + hour) % 6) * 0.45;
+                        match client
+                            .request(&Request::Observe {
+                                user,
+                                hour,
+                                harvest_j,
+                                activity: Some(0.125),
+                            })
+                            .expect("observe")
+                        {
+                            Response::Observed { .. } => {}
+                            other => panic!("unexpected observe reply: {other:?}"),
+                        }
+                    }
+                }
+                let hist = LatencyHistogram::new();
+                let mut walls = Vec::with_capacity(rounds);
+                for _ in 0..rounds {
+                    barrier.wait();
+                    let round_start = Instant::now();
+                    for i in 0..decides_per_thread {
+                        let user = owned[i % owned.len()];
+                        let sent = Instant::now();
+                        match client.request(&Request::Decide { user }).expect("decide") {
+                            Response::Decision { .. } => hist.record(sent.elapsed()),
+                            other => panic!("unexpected decide reply: {other:?}"),
+                        }
+                    }
+                    walls.push(round_start.elapsed().as_secs_f64());
+                }
+                (walls, hist)
+            })
+        })
+        .collect();
+
+    let mut per_thread_walls = Vec::with_capacity(CLIENT_THREADS);
+    let merged = LatencyHistogram::new();
+    for worker in workers {
+        let (walls, hist) = worker.join().expect("client thread");
+        merged.merge(&hist);
+        per_thread_walls.push(walls);
+    }
+
+    // A round isn't done until its slowest thread is: the aggregate rate
+    // of round r uses the max wall across threads. Report the best round.
+    let mut best_wall_s = f64::INFINITY;
+    for r in 0..rounds {
+        let wall = per_thread_walls.iter().map(|w| w[r]).fold(0.0f64, f64::max);
+        best_wall_s = best_wall_s.min(wall);
+    }
+    let decisions = (CLIENT_THREADS * decides_per_thread) as f64;
+    let decisions_per_s = decisions / best_wall_s;
+    let p50_us = merged.quantile_us(0.50);
+    let p99_us = merged.quantile_us(0.99);
+
+    // Server-side view, for the log: request totals and handling p99.
+    let mut client = Client::connect(addr).expect("stats client");
+    match client.request(&Request::Stats).expect("stats") {
+        Response::Stats { fleet, server } => {
+            println!(
+                "fleet   : {} users / {} cohorts, {} observations, digest {:016x}",
+                fleet.users, fleet.cohorts, fleet.observations, fleet.state_digest
+            );
+            println!(
+                "server  : {} requests over {} connections, decide handling p99 {:.0} us",
+                server.requests, server.connections, server.decide_p99_us
+            );
+        }
+        other => panic!("unexpected stats reply: {other:?}"),
+    }
+    match client.request(&Request::Shutdown).expect("shutdown") {
+        Response::ShuttingDown => {}
+        other => panic!("unexpected shutdown reply: {other:?}"),
+    }
+    serving.join().expect("server thread").expect("clean exit");
+
+    println!(
+        "decides : {decisions:.0} in {:.0} ms (best of {rounds}) = {decisions_per_s:.0}/s \
+         aggregate",
+        best_wall_s * 1e3
+    );
+    println!("latency : round-trip p50 {p50_us:.0} us, p99 {p99_us:.0} us");
+
+    let json = format!(
+        "{{\n  \"schema\": \"reap-bench/serve-v1\",\n  \"users\": {users},\n  \
+         \"client_threads\": {CLIENT_THREADS},\n  \"decisions\": {decisions:.0},\n  \
+         \"wall_ms\": {:.1},\n  \"decisions_per_s\": {decisions_per_s:.0},\n  \
+         \"decide_p50_us\": {p50_us:.1},\n  \"decide_p99_us\": {p99_us:.1}\n}}\n",
+        best_wall_s * 1e3
+    );
+    std::fs::write(&out_path, json).expect("writable output");
+    println!("wrote {out_path}");
+}

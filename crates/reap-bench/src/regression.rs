@@ -55,8 +55,63 @@ pub fn metrics_for_schema(schema: &str) -> Option<&'static [Metric]> {
             key: "hours_per_s",
             direction: Direction::HigherIsBetter,
         }]),
+        // The serve bench also records decide round-trip p50/p99, but only
+        // throughput is gated: loopback tail latency on shared CI runners
+        // is too noisy for a hard quantile gate.
+        "reap-bench/serve-v1" => Some(&[Metric {
+            key: "decisions_per_s",
+            direction: Direction::HigherIsBetter,
+        }]),
         _ => None,
     }
+}
+
+/// Discovers baseline/fresh bench pairs in `dir` by glob instead of a
+/// hard-coded list: every committed `BENCH_<name>.json` baseline pairs
+/// with a freshly regenerated `BENCH_<name>.ci.json` next to it.
+///
+/// Returns `(baseline, fresh)` path pairs sorted by file name.
+///
+/// # Errors
+///
+/// Returns a message when the directory cannot be read, when no baseline
+/// matches the pattern (an empty gate would pass vacuously), or when a
+/// baseline lacks its fresh counterpart — a bench that stopped running in
+/// CI must fail the gate, not silently drop out of it.
+pub fn discover_pairs(
+    dir: &std::path::Path,
+) -> Result<Vec<(std::path::PathBuf, std::path::PathBuf)>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut names: Vec<String> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot scan {}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("BENCH_") && name.ends_with(".json") && !name.ends_with(".ci.json") {
+            names.push(name.to_string());
+        }
+    }
+    if names.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json baselines found in {}",
+            dir.display()
+        ));
+    }
+    names.sort();
+    let mut pairs = Vec::with_capacity(names.len());
+    for name in names {
+        let baseline = dir.join(&name);
+        let fresh_name = format!("{}.ci.json", name.trim_end_matches(".json"));
+        let fresh = dir.join(&fresh_name);
+        if !fresh.is_file() {
+            return Err(format!(
+                "baseline {name} has no fresh run {fresh_name} — did its bench step run?"
+            ));
+        }
+        pairs.push((baseline, fresh));
+    }
+    Ok(pairs)
 }
 
 /// Extracts the first number stored under `"key":` in `json`.
@@ -181,6 +236,50 @@ mod tests {
         assert_eq!(metrics_for_schema("reap-bench/fleet-v1").unwrap().len(), 1);
         assert_eq!(metrics_for_schema("reap-bench/mpc-v1").unwrap().len(), 1);
         assert!(metrics_for_schema("nope").is_none());
+        let serve = metrics_for_schema("reap-bench/serve-v1").unwrap();
+        assert_eq!(serve.len(), 1);
+        assert_eq!(serve[0].key, "decisions_per_s");
+        assert_eq!(serve[0].direction, Direction::HigherIsBetter);
+    }
+
+    #[test]
+    fn discovery_pairs_baselines_with_fresh_runs() {
+        let dir = std::env::temp_dir().join(format!("reap_bench_discover_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // An empty directory is an error, not a vacuous pass.
+        let err = discover_pairs(&dir).unwrap_err();
+        assert!(err.contains("no BENCH_"), "got: {err}");
+
+        // A baseline without its fresh counterpart fails loudly.
+        std::fs::write(dir.join("BENCH_fleet.json"), "{}").unwrap();
+        std::fs::write(dir.join("unrelated.json"), "{}").unwrap();
+        let err = discover_pairs(&dir).unwrap_err();
+        assert!(err.contains("BENCH_fleet.ci.json"), "got: {err}");
+
+        // Complete pairs come back sorted; `.ci.json` files are never
+        // themselves treated as baselines.
+        std::fs::write(dir.join("BENCH_fleet.ci.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_serve.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_serve.ci.json"), "{}").unwrap();
+        let pairs = discover_pairs(&dir).unwrap();
+        let names: Vec<String> = pairs
+            .iter()
+            .map(|(b, f)| {
+                format!(
+                    "{}:{}",
+                    b.file_name().unwrap().to_str().unwrap(),
+                    f.file_name().unwrap().to_str().unwrap()
+                )
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "BENCH_fleet.json:BENCH_fleet.ci.json",
+                "BENCH_serve.json:BENCH_serve.ci.json"
+            ]
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

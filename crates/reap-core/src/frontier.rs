@@ -270,6 +270,38 @@ pub struct PlanEval {
     pub energy_j: f64,
 }
 
+/// One operating point's share of a decided plan: run point `id` for
+/// `seconds` of the period.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlanShare {
+    /// The operating point's id.
+    pub id: u8,
+    /// Seconds of the period spent at this point.
+    pub seconds: f64,
+}
+
+/// A complete single-user allocation decision from a cached frontier:
+/// the plan aggregates plus the blend of (at most two) operating points
+/// realizing them. Produced by [`FrontierTable::decide`]; `Copy` and
+/// heap-free so serving it costs one table walk and nothing else.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// The plan aggregates, bit-identical to [`FrontierTable::eval`].
+    pub eval: PlanEval,
+    /// Seconds of the period spent in the off state.
+    pub off_s: f64,
+    shares: [PlanShare; 2],
+    n_shares: u8,
+}
+
+impl Decision {
+    /// The point shares of the blend (ascending point id, length 0–2).
+    #[must_use]
+    pub fn shares(&self) -> &[PlanShare] {
+        &self.shares[..usize::from(self.n_shares)]
+    }
+}
+
 /// Flat, pointer-free image of a [`PlanFrontier`] for batched scalar
 /// evaluation: per-vertex `f64` columns instead of `Arc<OperatingPoint>`
 /// references, so a hot loop evaluating thousands of cached frontiers
@@ -398,6 +430,23 @@ impl FrontierTable {
     /// frontier.
     #[must_use]
     pub fn eval(&self, budget_j: f64) -> PlanEval {
+        self.decide(budget_j).eval
+    }
+
+    /// Single-user decide: the plan aggregates **plus** the (at most two)
+    /// per-point time shares of the optimal blend, without allocating —
+    /// the serving hot path, where a resident daemon answers
+    /// `Decide {user}` from a cached cohort frontier and needs the full
+    /// allocation (which points, for how long) rather than only the
+    /// aggregates.
+    ///
+    /// The aggregate arithmetic is shared with [`FrontierTable::eval`]
+    /// (which delegates here), so `decide(b).eval == eval(b)` bit for
+    /// bit, and the shares are exactly the allocations
+    /// [`PlanFrontier::solve`] would return after its sub-microsecond
+    /// drop rule, in ascending point-id order.
+    #[must_use]
+    pub fn decide(&self, budget_j: f64) -> Decision {
         // `f64::max` maps NaN to the floor too, matching `Energy::max`.
         let b = budget_j.max(self.min_budget_j);
         let last = self.budgets.len() - 1;
@@ -455,21 +504,37 @@ impl FrontierTable {
             dur.swap(0, 1);
             acc.swap(0, 1);
             pow.swap(0, 1);
+            ids.swap(0, 1);
         }
         let mut accuracy = 0.0;
         let mut active_s = 0.0;
         let mut active_e = 0.0;
+        let mut shares = [PlanShare {
+            id: 0,
+            seconds: 0.0,
+        }; 2];
+        let mut m = 0usize;
         for j in 0..n {
             if dur[j] > 1e-6 {
                 accuracy += acc[j] * (dur[j] / tp);
                 active_s += dur[j];
                 active_e += pow[j] * dur[j];
+                shares[m] = PlanShare {
+                    id: ids[j],
+                    seconds: dur[j],
+                };
+                m += 1;
             }
         }
-        PlanEval {
-            accuracy,
-            active_s,
-            energy_j: active_e + self.off_w * off_s,
+        Decision {
+            eval: PlanEval {
+                accuracy,
+                active_s,
+                energy_j: active_e + self.off_w * off_s,
+            },
+            off_s,
+            shares,
+            n_shares: m as u8,
         }
     }
 
@@ -651,6 +716,38 @@ mod tests {
                 assert_eq!(e.accuracy, s.expected_accuracy(), "accuracy at {b} J");
                 assert_eq!(e.active_s, s.active_time().seconds(), "active at {b} J");
                 assert_eq!(e.energy_j, s.energy().joules(), "energy at {b} J");
+            }
+        }
+    }
+
+    #[test]
+    fn table_decide_shares_match_solve_allocations() {
+        // The decide path must serve exactly the schedule `solve` would
+        // build: same point ids, same durations (post drop rule,
+        // ascending id), same off time — and its aggregates are the
+        // `eval` scalars by construction (eval delegates to decide).
+        for alpha in [0.5, 1.0, 2.0] {
+            let p = paper_problem(alpha);
+            let f = p.frontier();
+            let t = f.table();
+            let mut budgets: Vec<f64> = vec![0.18, 1.0, 3.0, 5.0, 9.936, 20.0];
+            for b in f.breakpoints() {
+                budgets.push(b.joules());
+                budgets.push(b.joules() + 1e-7);
+            }
+            for b in budgets {
+                let d = t.decide(b);
+                assert_eq!(d.eval, t.eval(b), "aggregates diverged at {b} J");
+                let s = f
+                    .solve(Energy::from_joules(b.max(t.min_budget_j())))
+                    .unwrap();
+                let allocs = s.allocations();
+                assert_eq!(d.shares().len(), allocs.len(), "share count at {b} J");
+                for (share, alloc) in d.shares().iter().zip(allocs) {
+                    assert_eq!(share.id, alloc.point.id(), "point id at {b} J");
+                    assert_eq!(share.seconds, alloc.duration.seconds(), "duration at {b} J");
+                }
+                assert_eq!(d.off_s, s.off_time().seconds(), "off time at {b} J");
             }
         }
     }

@@ -101,6 +101,40 @@ impl EwmaAllocator {
     pub fn estimate(&self, hour_of_day: u32) -> Energy {
         Energy::from_joules(self.ewma.expected(hour_of_day))
     }
+
+    /// The battery-correction gain (fraction of the battery's divergence
+    /// from the half-full target budgeted per hour).
+    #[must_use]
+    pub fn battery_gain(&self) -> f64 {
+        self.battery_gain
+    }
+
+    /// The underlying diurnal estimator, for state extraction
+    /// (checkpointing a resident allocator).
+    #[must_use]
+    pub fn diurnal(&self) -> &DiurnalEwma {
+        &self.ewma
+    }
+
+    /// Whether the discard-the-first-call cold-start step has happened
+    /// yet; part of the allocator's checkpointable state.
+    #[must_use]
+    pub fn first_call_done(&self) -> bool {
+        self.first_call_done
+    }
+
+    /// Rebuilds an allocator from extracted state
+    /// ([`EwmaAllocator::diurnal`] + [`EwmaAllocator::first_call_done`]),
+    /// with the standard battery gain. The round trip is exact: a
+    /// restored allocator budgets bit-identically to the original.
+    #[must_use]
+    pub fn from_parts(ewma: DiurnalEwma, first_call_done: bool) -> EwmaAllocator {
+        EwmaAllocator {
+            ewma,
+            battery_gain: 0.1,
+            first_call_done,
+        }
+    }
 }
 
 impl Default for EwmaAllocator {

@@ -139,6 +139,25 @@ impl Battery {
     pub fn deliverable(&self) -> Energy {
         self.level * self.discharge_efficiency
     }
+
+    /// Overwrites the stored level — state reinjection for
+    /// checkpoint/restore of a resident battery. The exact value is kept
+    /// (no rounding), so a restored battery behaves bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`HarvestError::InvalidParameter`] when `level` is not finite or
+    /// outside `[0, capacity]`.
+    pub fn set_level(&mut self, level: Energy) -> Result<(), HarvestError> {
+        if !level.is_finite() || level.is_negative() || level > self.capacity {
+            return Err(HarvestError::InvalidParameter(format!(
+                "level {level} outside [0, {}]",
+                self.capacity
+            )));
+        }
+        self.level = level;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -203,5 +222,18 @@ mod tests {
     fn negative_charge_panics() {
         let mut b = Battery::small_wearable();
         let _ = b.charge(joules(-1.0));
+    }
+
+    #[test]
+    fn set_level_reinjects_exact_state() {
+        let mut b = Battery::small_wearable();
+        let exact = joules(17.123456789012345);
+        b.set_level(exact).unwrap();
+        assert_eq!(b.level(), exact);
+        assert!(b.set_level(joules(-0.1)).is_err());
+        assert!(b.set_level(joules(60.1)).is_err());
+        assert!(b.set_level(joules(f64::NAN)).is_err());
+        // A rejected set leaves the level untouched.
+        assert_eq!(b.level(), exact);
     }
 }

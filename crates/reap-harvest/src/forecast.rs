@@ -112,6 +112,42 @@ impl DiurnalEwma {
     pub fn is_seen(&self, hour_of_day: u32) -> bool {
         self.seen[(hour_of_day % 24) as usize]
     }
+
+    /// The smoothing factor (post-clamp).
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Extracts the full estimator state as `(slot estimates, seen
+    /// bitmask)` — bit `s` of the mask set when slot `s` has been seeded.
+    /// Together with [`DiurnalEwma::alpha`] this is everything a
+    /// checkpoint needs to rebuild the estimator bit-identically via
+    /// [`DiurnalEwma::from_parts`].
+    #[must_use]
+    pub fn to_parts(&self) -> ([f64; 24], u32) {
+        let mut mask = 0u32;
+        for (s, &seen) in self.seen.iter().enumerate() {
+            mask |= u32::from(seen) << s;
+        }
+        (self.estimates, mask)
+    }
+
+    /// Rebuilds an estimator from [`DiurnalEwma::to_parts`] output (bits
+    /// of `seen_mask` above slot 23 are ignored). The round trip is exact:
+    /// the restored estimator produces bit-identical expectations.
+    #[must_use]
+    pub fn from_parts(alpha: f64, estimates: [f64; 24], seen_mask: u32) -> DiurnalEwma {
+        let mut seen = [false; 24];
+        for (s, slot) in seen.iter_mut().enumerate() {
+            *slot = (seen_mask >> s) & 1 == 1;
+        }
+        DiurnalEwma {
+            estimates,
+            seen,
+            alpha: alpha.clamp(1e-3, 1.0),
+        }
+    }
 }
 
 /// Causal per-slot EWMA forecaster (see [`DiurnalEwma`]).
@@ -358,6 +394,23 @@ mod tests {
         assert_eq!(o.rel_error(), 1.0);
         // Even at 100% error the forecast never goes negative.
         assert!(o.forecast(0, 1)[0].joules() >= 0.0);
+    }
+
+    #[test]
+    fn diurnal_parts_round_trip_bit_identically() {
+        let mut e = DiurnalEwma::new(0.5);
+        for (h, j) in [(0u32, 0.25), (3, 1.5), (3, 2.0), (17, 0.0)] {
+            e.observe(h, j);
+        }
+        let (est, mask) = e.to_parts();
+        let restored = DiurnalEwma::from_parts(e.alpha(), est, mask);
+        for h in 0..24 {
+            assert_eq!(restored.expected(h), e.expected(h), "slot {h}");
+            assert_eq!(restored.is_seen(h), e.is_seen(h), "seen {h}");
+        }
+        // High seen-mask bits are ignored.
+        let noisy = DiurnalEwma::from_parts(e.alpha(), est, mask | 0xFF00_0000);
+        assert_eq!(noisy.expected(5), e.expected(5));
     }
 
     #[test]

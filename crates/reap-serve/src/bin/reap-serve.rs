@@ -1,0 +1,208 @@
+//! The `reap-serve` daemon binary.
+//!
+//! ```text
+//! reap-serve [--addr 127.0.0.1:0] [--users 2000] [--seed 0]
+//!            [--source <label>]... [--shards 16] [--max-connections 64]
+//!            [--restore <path>] [--checkpoint-on-exit <path>]
+//! ```
+//!
+//! Builds the resident population from the same seeded [`Fleet`]
+//! definition the simulator uses, binds the TCP daemon (port 0 by
+//! default — the kernel-assigned address is printed on stdout), and
+//! serves until SIGINT or an in-band `shutdown` request. Both paths
+//! drain in-flight connections, write the exit checkpoint if
+//! `--checkpoint-on-exit` was given, and exit 0.
+//!
+//! Source labels are the [`SourceKind`] names: `outdoor-solar`,
+//! `indoor-pv`, `body-heat-teg`, `kinetic`. Repeat `--source` to
+//! round-robin users over several; omit it for all four.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use reap_harvest::SourceKind;
+use reap_serve::{FleetState, Server, ServerConfig};
+use reap_sim::Fleet;
+
+/// Polling cadence of the SIGINT watcher thread.
+const SIGINT_POLL: std::time::Duration = std::time::Duration::from_millis(50);
+
+#[cfg(unix)]
+mod sigint {
+    //! Minimal SIGINT hook: libc `signal` via FFI (the workspace vendors
+    //! no signal crate), a handler that only stores an atomic — the one
+    //! async-signal-safe thing worth doing — and a poller that turns the
+    //! flag into a graceful server shutdown.
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigint(_signum: i32) {
+        SIGINT_SEEN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the handler for SIGINT (2).
+    pub fn install() {
+        unsafe {
+            signal(2, on_sigint);
+        }
+    }
+
+    /// Whether SIGINT has arrived.
+    pub fn seen() -> bool {
+        SIGINT_SEEN.load(Ordering::SeqCst)
+    }
+}
+
+struct Args {
+    addr: String,
+    users: u32,
+    seed: u64,
+    sources: Vec<SourceKind>,
+    shards: usize,
+    max_connections: usize,
+    restore: Option<PathBuf>,
+    checkpoint_on_exit: Option<PathBuf>,
+}
+
+fn parse_source(label: &str) -> Result<SourceKind, String> {
+    SourceKind::ALL
+        .into_iter()
+        .find(|k| k.label() == label)
+        .ok_or_else(|| {
+            let known: Vec<&str> = SourceKind::ALL.iter().map(|k| k.label()).collect();
+            format!("unknown source {label:?}; known: {}", known.join(", "))
+        })
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:0".to_string(),
+        users: 2000,
+        seed: 0,
+        sources: Vec::new(),
+        shards: 16,
+        max_connections: 64,
+        restore: None,
+        checkpoint_on_exit: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--users" => {
+                args.users = value("--users")?
+                    .parse()
+                    .map_err(|e| format!("--users: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--source" => args.sources.push(parse_source(&value("--source")?)?),
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if args.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--max-connections" => {
+                args.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?;
+            }
+            "--restore" => args.restore = Some(PathBuf::from(value("--restore")?)),
+            "--checkpoint-on-exit" => {
+                args.checkpoint_on_exit = Some(PathBuf::from(value("--checkpoint-on-exit")?));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: reap-serve [--addr A] [--users N] [--seed S] [--source L]... \
+                     [--shards N] [--max-connections N] [--restore P] [--checkpoint-on-exit P]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.sources.is_empty() {
+        args.sources = SourceKind::ALL.to_vec();
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    let fleet = Fleet::builder(reap_device::paper_table2_operating_points())
+        .users(args.users)
+        .seed(args.seed)
+        .sources(args.sources.clone())
+        .build()
+        .map_err(|e| format!("building fleet: {e}"))?;
+    let state = FleetState::new(&fleet, args.shards).map_err(|e| format!("building state: {e}"))?;
+    if let Some(path) = &args.restore {
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let users = reap_serve::snapshot::restore(&state, &bytes)
+            .map_err(|e| format!("restoring {}: {e}", path.display()))?;
+        println!("reap-serve: restored {users} users from {}", path.display());
+    }
+
+    let server = Server::bind(
+        args.addr.as_str(),
+        state,
+        ServerConfig {
+            max_connections: args.max_connections,
+            checkpoint_on_exit: args.checkpoint_on_exit.clone(),
+        },
+    )
+    .map_err(|e| format!("binding {}: {e}", args.addr))?;
+    println!(
+        "reap-serve: {} users resident over {} sources, listening on {}",
+        args.users,
+        args.sources.len(),
+        server.local_addr()
+    );
+
+    let handle = server.handle();
+    #[cfg(unix)]
+    {
+        sigint::install();
+        let watcher_handle = handle.clone();
+        std::thread::spawn(move || loop {
+            if sigint::seen() {
+                eprintln!("reap-serve: SIGINT, draining");
+                watcher_handle.shutdown();
+                return;
+            }
+            if watcher_handle.is_shutting_down() {
+                return;
+            }
+            std::thread::sleep(SIGINT_POLL);
+        });
+    }
+    let _ = &handle;
+
+    server.serve().map_err(|e| format!("serving: {e}"))?;
+    println!("reap-serve: drained, exiting");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("reap-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

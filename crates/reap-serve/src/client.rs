@@ -1,0 +1,94 @@
+//! A minimal blocking client for the daemon's wire protocol, used by the
+//! examples, the end-to-end tests, and the loopback load generator.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{Request, Response, PROTOCOL_VERSION};
+
+/// A connected, greeted session with a daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    users: u32,
+}
+
+fn protocol_io(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+impl Client {
+    /// Connects to `addr` and performs the versioned handshake.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a refused handshake (the server's error frame is
+    /// surfaced as [`io::ErrorKind::InvalidData`]), or a garbled welcome.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            users: 0,
+        };
+        let hello = Request::Hello {
+            version: PROTOCOL_VERSION,
+        };
+        match client.request(&hello)? {
+            Response::Welcome { users, .. } => {
+                client.users = users;
+                Ok(client)
+            }
+            Response::Error { code, message } => Err(protocol_io(format!(
+                "handshake refused ({code}): {message}"
+            ))),
+            other => Err(protocol_io(format!("expected welcome, got {other:?}"))),
+        }
+    }
+
+    /// Resident users reported by the welcome frame.
+    #[must_use]
+    pub fn users(&self) -> u32 {
+        self.users
+    }
+
+    /// Sends one request frame and reads the matching response frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a closed connection, or an undecodable response.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        let mut line = request.encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::decode(reply.trim_end_matches(['\n', '\r'])).map_err(protocol_io)
+    }
+
+    /// Sends a raw pre-encoded line (malformed-input tests).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request`].
+    pub fn request_raw(&mut self, line: &str) -> io::Result<Response> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::decode(reply.trim_end_matches(['\n', '\r'])).map_err(protocol_io)
+    }
+}

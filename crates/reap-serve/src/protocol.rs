@@ -1,0 +1,1177 @@
+//! The wire protocol: newline-delimited JSON frames over TCP.
+//!
+//! Every frame is one line of UTF-8 JSON terminated by `\n`, at most
+//! [`MAX_LINE_BYTES`] long, with a `"type"` tag naming the variant. The
+//! encoder and decoder are hand-rolled (the workspace is offline-vendored
+//! and carries no serde): a ~150-line recursive-descent JSON parser feeds
+//! typed extractors, and encoding is direct string building. `f64` fields
+//! are formatted with Rust's shortest-round-trip `Display`, so a value
+//! decodes back to the exact same bits — the property the round-trip
+//! proptests pin.
+//!
+//! Sessions open with a versioned handshake: the client's first frame
+//! must be `{"type":"hello","version":N}` with `N` equal to
+//! [`PROTOCOL_VERSION`]; anything else is refused with an error frame and
+//! the connection closes. After `{"type":"welcome",..}` the client streams
+//! requests and reads one response frame per request, in order. Errors
+//! never tear down framing: a malformed line is answered with an error
+//! frame and the session continues (only oversized lines close the
+//! connection, because the frame boundary itself is no longer trusted).
+
+use std::fmt;
+
+/// Protocol version spoken by this build; bumped on any wire change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard cap on one frame (including the terminating newline). Lines
+/// beyond it are rejected with an [`ErrorCode::Oversized`] frame and the
+/// connection closes.
+pub const MAX_LINE_BYTES: usize = 16 * 1024;
+
+/// Machine-readable error category carried by an error frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Handshake version differs from [`PROTOCOL_VERSION`].
+    Version,
+    /// First frame was not `hello`, or `hello` arrived twice.
+    Handshake,
+    /// The line was not valid JSON, or not a known frame shape.
+    Malformed,
+    /// The line exceeded [`MAX_LINE_BYTES`].
+    Oversized,
+    /// A field failed validation (non-finite harvest, unknown user, ...).
+    BadRequest,
+    /// The referenced user does not exist in the resident fleet.
+    UnknownUser,
+    /// A checkpoint/restore operation failed (I/O or format).
+    Snapshot,
+    /// The server failed internally while handling the request.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire string of the code.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Version => "version",
+            ErrorCode::Handshake => "handshake",
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownUser => "unknown_user",
+            ErrorCode::Snapshot => "snapshot",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire string back to the code.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "version" => ErrorCode::Version,
+            "handshake" => ErrorCode::Handshake,
+            "malformed" => ErrorCode::Malformed,
+            "oversized" => ErrorCode::Oversized,
+            "bad_request" => ErrorCode::BadRequest,
+            "unknown_user" => ErrorCode::UnknownUser,
+            "snapshot" => ErrorCode::Snapshot,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A protocol-level failure: the error frame it should be answered with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtocolError {
+    /// Builds an error.
+    #[must_use]
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ProtocolError {
+        ProtocolError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+/// A client→server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Versioned handshake; must be the first frame of a session.
+    Hello {
+        /// Client protocol version.
+        version: u32,
+    },
+    /// Stream one completed hour of one user's life into the resident
+    /// state: hour `hour` (any absolute hour; slotted mod 24) harvested
+    /// `harvest_j` joules, with an optional activity intensity.
+    Observe {
+        /// Fleet user index.
+        user: u32,
+        /// Hour the observation describes (taken mod 24 for the diurnal
+        /// slot).
+        hour: u32,
+        /// Energy harvested during the hour, in joules (finite, >= 0).
+        harvest_j: f64,
+        /// Optional activity intensity for the hour (finite if present).
+        activity: Option<f64>,
+    },
+    /// Serve an allocation decision for the user's upcoming hour from the
+    /// cohort's cached plan frontier. Read-only: repeated decides are
+    /// idempotent.
+    Decide {
+        /// Fleet user index.
+        user: u32,
+    },
+    /// Fetch fleet + server statistics.
+    Stats,
+    /// Write a versioned binary snapshot of the whole population.
+    Checkpoint {
+        /// Filesystem path to write.
+        path: String,
+    },
+    /// Replace the whole population's state from a snapshot.
+    Restore {
+        /// Filesystem path to read.
+        path: String,
+    },
+    /// Gracefully stop the server: in-flight connections drain, an exit
+    /// checkpoint is written if configured, the process exits 0.
+    Shutdown,
+}
+
+/// One operating point's share of a served decision, on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireShare {
+    /// Operating point id.
+    pub id: u8,
+    /// Seconds of the period at this point.
+    pub seconds: f64,
+}
+
+/// The deterministic, checkpoint-covered half of a `stats` response:
+/// pure functions of the observation stream, bit-identical across
+/// checkpoint/restore (the property the snapshot tests pin).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Resident users.
+    pub users: u32,
+    /// Distinct `(operating points, alpha)` cohorts sharing a frontier.
+    pub cohorts: u32,
+    /// Total observations absorbed.
+    pub observations: u64,
+    /// Sum of harvested energy over all observations, in joules.
+    pub harvested_j: f64,
+    /// Sum of granted budgets over all observations, in joules.
+    pub budget_j: f64,
+    /// Sum of current virtual-battery levels, in joules.
+    pub battery_j: f64,
+    /// Sum of reported activity intensities.
+    pub activity: f64,
+    /// FNV-1a digest over every user's serialized resident state.
+    pub state_digest: u64,
+}
+
+/// The timing-dependent half of a `stats` response: request counters and
+/// latency quantiles. Not checkpointed (a restored server starts fresh).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Total requests handled (post-handshake).
+    pub requests: u64,
+    /// Error frames sent.
+    pub errors: u64,
+    /// `observe` requests handled.
+    pub observes: u64,
+    /// `decide` requests handled.
+    pub decides: u64,
+    /// `checkpoint` requests handled.
+    pub checkpoints: u64,
+    /// `restore` requests handled.
+    pub restores: u64,
+    /// Server-side observe handling p50, in microseconds.
+    pub observe_p50_us: f64,
+    /// Server-side observe handling p99, in microseconds.
+    pub observe_p99_us: f64,
+    /// Server-side decide handling p50, in microseconds.
+    pub decide_p50_us: f64,
+    /// Server-side decide handling p99, in microseconds.
+    pub decide_p99_us: f64,
+}
+
+/// A server→client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful handshake.
+    Welcome {
+        /// Server protocol version (equals [`PROTOCOL_VERSION`]).
+        version: u32,
+        /// Resident fleet size.
+        users: u32,
+    },
+    /// An observation was absorbed; echoes the open-loop budget granted
+    /// for the observed hour.
+    Observed {
+        /// Fleet user index.
+        user: u32,
+        /// Echo of the observed hour.
+        hour: u32,
+        /// Budget granted for the observed hour, in joules.
+        budget_j: f64,
+    },
+    /// A served allocation decision.
+    Decision {
+        /// Fleet user index.
+        user: u32,
+        /// Budget the plan was decided at, in joules.
+        budget_j: f64,
+        /// Expected accuracy of the plan over the period.
+        accuracy: f64,
+        /// Active seconds of the plan.
+        active_s: f64,
+        /// Energy the plan consumes, in joules.
+        energy_j: f64,
+        /// Off-state seconds of the plan.
+        off_s: f64,
+        /// The (at most two) point shares of the blend, ascending id.
+        shares: Vec<WireShare>,
+    },
+    /// Fleet + server statistics.
+    Stats {
+        /// Deterministic, checkpoint-covered statistics.
+        fleet: FleetStats,
+        /// Timing-dependent request-path statistics.
+        server: ServerStats,
+    },
+    /// A checkpoint was written.
+    CheckpointDone {
+        /// Path written.
+        path: String,
+        /// Snapshot size in bytes.
+        bytes: u64,
+    },
+    /// A snapshot was restored.
+    RestoreDone {
+        /// Path read.
+        path: String,
+        /// Users restored.
+        users: u32,
+    },
+    /// Acknowledges a shutdown request; the server stops accepting and
+    /// drains.
+    ShuttingDown,
+    /// An error frame.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl From<ProtocolError> for Response {
+    fn from(e: ProtocolError) -> Response {
+        Response::Error {
+            code: e.code,
+            message: e.message,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + parser
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value (the subset the protocol needs; no nested-depth
+/// limit is required because frames are line-bounded).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> ProtocolError {
+        ProtocolError::new(ErrorCode::Malformed, format!("{what} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\r' | b'\n') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ProtocolError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ProtocolError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, ProtocolError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ProtocolError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ProtocolError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ProtocolError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("dangling escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by \uDC00..DFFF.
+                            if (0xD800..0xDC00).contains(&cp) {
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                out.push(
+                                    char::from_u32(c)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?,
+                                );
+                            } else if (0xDC00..0xE000).contains(&cp) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                out.push(
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| self.err("invalid codepoint"))?,
+                                );
+                            }
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                0x00..=0x1F => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Re-scan the full UTF-8 sequence starting here. The
+                    // input is a &str, so sequences are always valid.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    self.pos = start + len;
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ProtocolError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, ProtocolError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let v: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        if !v.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Json::Num(v))
+    }
+}
+
+/// Byte length of the UTF-8 sequence starting with `b` (1 for ASCII and,
+/// defensively, for continuation bytes — unreachable from a `&str`).
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    }
+}
+
+fn parse_json(line: &str) -> Result<Json, ProtocolError> {
+    let mut p = Parser::new(line);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing bytes after JSON value"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------
+// Typed extraction
+// ---------------------------------------------------------------------
+
+fn as_obj(v: &Json) -> Result<&[(String, Json)], ProtocolError> {
+    match v {
+        Json::Obj(members) => Ok(members),
+        _ => Err(ProtocolError::new(
+            ErrorCode::Malformed,
+            "frame is not a JSON object",
+        )),
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn need<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, ProtocolError> {
+    get(obj, key)
+        .ok_or_else(|| ProtocolError::new(ErrorCode::Malformed, format!("missing field {key:?}")))
+}
+
+fn need_f64(obj: &[(String, Json)], key: &str) -> Result<f64, ProtocolError> {
+    match need(obj, key)? {
+        Json::Num(v) => Ok(*v),
+        _ => Err(ProtocolError::new(
+            ErrorCode::Malformed,
+            format!("field {key:?} is not a number"),
+        )),
+    }
+}
+
+fn need_u32(obj: &[(String, Json)], key: &str) -> Result<u32, ProtocolError> {
+    let v = need_f64(obj, key)?;
+    if v.fract() != 0.0 || !(0.0..=f64::from(u32::MAX)).contains(&v) {
+        return Err(ProtocolError::new(
+            ErrorCode::Malformed,
+            format!("field {key:?} is not a u32"),
+        ));
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    Ok(v as u32)
+}
+
+fn need_u64(obj: &[(String, Json)], key: &str) -> Result<u64, ProtocolError> {
+    let v = need_f64(obj, key)?;
+    if v.fract() != 0.0 || !(0.0..=9.007_199_254_740_992e15).contains(&v) {
+        return Err(ProtocolError::new(
+            ErrorCode::Malformed,
+            format!("field {key:?} is not an exactly-representable u64"),
+        ));
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    Ok(v as u64)
+}
+
+fn need_str<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a str, ProtocolError> {
+    match need(obj, key)? {
+        Json::Str(s) => Ok(s),
+        _ => Err(ProtocolError::new(
+            ErrorCode::Malformed,
+            format!("field {key:?} is not a string"),
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+/// Appends `s` JSON-escaped (quoted) to `out`.
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` in shortest-round-trip form. Only finite values reach
+/// the wire (validation upstream), but map the impossible defensively.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl Request {
+    /// Encodes the request as one JSON line **without** the trailing
+    /// newline (the framing layer appends it).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut s = String::with_capacity(64);
+        match self {
+            Request::Hello { version } => {
+                s.push_str(&format!("{{\"type\":\"hello\",\"version\":{version}}}"));
+            }
+            Request::Observe {
+                user,
+                hour,
+                harvest_j,
+                activity,
+            } => {
+                s.push_str(&format!(
+                    "{{\"type\":\"observe\",\"user\":{user},\"hour\":{hour},\"harvest_j\":"
+                ));
+                push_f64(&mut s, *harvest_j);
+                if let Some(a) = activity {
+                    s.push_str(",\"activity\":");
+                    push_f64(&mut s, *a);
+                }
+                s.push('}');
+            }
+            Request::Decide { user } => {
+                s.push_str(&format!("{{\"type\":\"decide\",\"user\":{user}}}"));
+            }
+            Request::Stats => s.push_str("{\"type\":\"stats\"}"),
+            Request::Checkpoint { path } => {
+                s.push_str("{\"type\":\"checkpoint\",\"path\":");
+                push_escaped(&mut s, path);
+                s.push('}');
+            }
+            Request::Restore { path } => {
+                s.push_str("{\"type\":\"restore\",\"path\":");
+                push_escaped(&mut s, path);
+                s.push('}');
+            }
+            Request::Shutdown => s.push_str("{\"type\":\"shutdown\"}"),
+        }
+        s
+    }
+
+    /// Decodes one line (without its newline) into a request.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] with [`ErrorCode::Malformed`] on anything that
+    /// is not a well-formed known request frame.
+    pub fn decode(line: &str) -> Result<Request, ProtocolError> {
+        let v = parse_json(line)?;
+        let obj = as_obj(&v)?;
+        match need_str(obj, "type")? {
+            "hello" => Ok(Request::Hello {
+                version: need_u32(obj, "version")?,
+            }),
+            "observe" => {
+                let activity = match get(obj, "activity") {
+                    None | Some(Json::Null) => None,
+                    Some(Json::Num(a)) => Some(*a),
+                    Some(_) => {
+                        return Err(ProtocolError::new(
+                            ErrorCode::Malformed,
+                            "field \"activity\" is not a number",
+                        ))
+                    }
+                };
+                Ok(Request::Observe {
+                    user: need_u32(obj, "user")?,
+                    hour: need_u32(obj, "hour")?,
+                    harvest_j: need_f64(obj, "harvest_j")?,
+                    activity,
+                })
+            }
+            "decide" => Ok(Request::Decide {
+                user: need_u32(obj, "user")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "checkpoint" => Ok(Request::Checkpoint {
+                path: need_str(obj, "path")?.to_string(),
+            }),
+            "restore" => Ok(Request::Restore {
+                path: need_str(obj, "path")?.to_string(),
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtocolError::new(
+                ErrorCode::Malformed,
+                format!("unknown request type {other:?}"),
+            )),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response as one JSON line **without** the trailing
+    /// newline.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut s = String::with_capacity(96);
+        match self {
+            Response::Welcome { version, users } => {
+                s.push_str(&format!(
+                    "{{\"type\":\"welcome\",\"version\":{version},\"users\":{users}}}"
+                ));
+            }
+            Response::Observed {
+                user,
+                hour,
+                budget_j,
+            } => {
+                s.push_str(&format!(
+                    "{{\"type\":\"observed\",\"user\":{user},\"hour\":{hour},\"budget_j\":"
+                ));
+                push_f64(&mut s, *budget_j);
+                s.push('}');
+            }
+            Response::Decision {
+                user,
+                budget_j,
+                accuracy,
+                active_s,
+                energy_j,
+                off_s,
+                shares,
+            } => {
+                s.push_str(&format!("{{\"type\":\"decision\",\"user\":{user}"));
+                for (key, v) in [
+                    ("budget_j", budget_j),
+                    ("accuracy", accuracy),
+                    ("active_s", active_s),
+                    ("energy_j", energy_j),
+                    ("off_s", off_s),
+                ] {
+                    s.push_str(&format!(",\"{key}\":"));
+                    push_f64(&mut s, *v);
+                }
+                s.push_str(",\"shares\":[");
+                for (i, share) in shares.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!("{{\"id\":{},\"seconds\":", share.id));
+                    push_f64(&mut s, share.seconds);
+                    s.push('}');
+                }
+                s.push_str("]}");
+            }
+            Response::Stats { fleet, server } => {
+                s.push_str("{\"type\":\"stats\",\"fleet\":");
+                s.push_str(&fleet.encode());
+                s.push_str(",\"server\":");
+                s.push_str(&server.encode());
+                s.push('}');
+            }
+            Response::CheckpointDone { path, bytes } => {
+                s.push_str("{\"type\":\"checkpoint_done\",\"path\":");
+                push_escaped(&mut s, path);
+                s.push_str(&format!(",\"bytes\":{bytes}}}"));
+            }
+            Response::RestoreDone { path, users } => {
+                s.push_str("{\"type\":\"restore_done\",\"path\":");
+                push_escaped(&mut s, path);
+                s.push_str(&format!(",\"users\":{users}}}"));
+            }
+            Response::ShuttingDown => s.push_str("{\"type\":\"shutting_down\"}"),
+            Response::Error { code, message } => {
+                s.push_str(&format!(
+                    "{{\"type\":\"error\",\"code\":\"{code}\",\"message\":"
+                ));
+                push_escaped(&mut s, message);
+                s.push('}');
+            }
+        }
+        s
+    }
+
+    /// Decodes one line (without its newline) into a response.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] with [`ErrorCode::Malformed`] on anything that
+    /// is not a well-formed known response frame.
+    pub fn decode(line: &str) -> Result<Response, ProtocolError> {
+        let v = parse_json(line)?;
+        let obj = as_obj(&v)?;
+        match need_str(obj, "type")? {
+            "welcome" => Ok(Response::Welcome {
+                version: need_u32(obj, "version")?,
+                users: need_u32(obj, "users")?,
+            }),
+            "observed" => Ok(Response::Observed {
+                user: need_u32(obj, "user")?,
+                hour: need_u32(obj, "hour")?,
+                budget_j: need_f64(obj, "budget_j")?,
+            }),
+            "decision" => {
+                let shares = match need(obj, "shares")? {
+                    Json::Arr(items) => items
+                        .iter()
+                        .map(|item| {
+                            let share = as_obj(item)?;
+                            let id = need_u32(share, "id")?;
+                            let id = u8::try_from(id).map_err(|_| {
+                                ProtocolError::new(ErrorCode::Malformed, "share id overflows u8")
+                            })?;
+                            Ok(WireShare {
+                                id,
+                                seconds: need_f64(share, "seconds")?,
+                            })
+                        })
+                        .collect::<Result<Vec<_>, ProtocolError>>()?,
+                    _ => {
+                        return Err(ProtocolError::new(
+                            ErrorCode::Malformed,
+                            "field \"shares\" is not an array",
+                        ))
+                    }
+                };
+                Ok(Response::Decision {
+                    user: need_u32(obj, "user")?,
+                    budget_j: need_f64(obj, "budget_j")?,
+                    accuracy: need_f64(obj, "accuracy")?,
+                    active_s: need_f64(obj, "active_s")?,
+                    energy_j: need_f64(obj, "energy_j")?,
+                    off_s: need_f64(obj, "off_s")?,
+                    shares,
+                })
+            }
+            "stats" => Ok(Response::Stats {
+                fleet: FleetStats::decode_obj(as_obj(need(obj, "fleet")?)?)?,
+                server: ServerStats::decode_obj(as_obj(need(obj, "server")?)?)?,
+            }),
+            "checkpoint_done" => Ok(Response::CheckpointDone {
+                path: need_str(obj, "path")?.to_string(),
+                bytes: need_u64(obj, "bytes")?,
+            }),
+            "restore_done" => Ok(Response::RestoreDone {
+                path: need_str(obj, "path")?.to_string(),
+                users: need_u32(obj, "users")?,
+            }),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "error" => {
+                let code_str = need_str(obj, "code")?;
+                let code = ErrorCode::parse(code_str).ok_or_else(|| {
+                    ProtocolError::new(
+                        ErrorCode::Malformed,
+                        format!("unknown error code {code_str:?}"),
+                    )
+                })?;
+                Ok(Response::Error {
+                    code,
+                    message: need_str(obj, "message")?.to_string(),
+                })
+            }
+            other => Err(ProtocolError::new(
+                ErrorCode::Malformed,
+                format!("unknown response type {other:?}"),
+            )),
+        }
+    }
+}
+
+impl FleetStats {
+    /// Encodes the deterministic fleet section as a JSON object. Field
+    /// values are pure functions of the observation stream, and `f64`s
+    /// print in shortest-round-trip form — so bit-identical state yields
+    /// a byte-identical encoding (what the checkpoint tests compare).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut s = String::with_capacity(160);
+        s.push_str(&format!(
+            "{{\"users\":{},\"cohorts\":{},\"observations\":{},\"harvested_j\":",
+            self.users, self.cohorts, self.observations
+        ));
+        push_f64(&mut s, self.harvested_j);
+        s.push_str(",\"budget_j\":");
+        push_f64(&mut s, self.budget_j);
+        s.push_str(",\"battery_j\":");
+        push_f64(&mut s, self.battery_j);
+        s.push_str(",\"activity\":");
+        push_f64(&mut s, self.activity);
+        s.push_str(&format!(
+            ",\"state_digest\":\"{:016x}\"}}",
+            self.state_digest
+        ));
+        s
+    }
+
+    fn decode_obj(obj: &[(String, Json)]) -> Result<FleetStats, ProtocolError> {
+        let digest_hex = need_str(obj, "state_digest")?;
+        let state_digest = u64::from_str_radix(digest_hex, 16).map_err(|_| {
+            ProtocolError::new(ErrorCode::Malformed, "state_digest is not a hex u64")
+        })?;
+        Ok(FleetStats {
+            users: need_u32(obj, "users")?,
+            cohorts: need_u32(obj, "cohorts")?,
+            observations: need_u64(obj, "observations")?,
+            harvested_j: need_f64(obj, "harvested_j")?,
+            budget_j: need_f64(obj, "budget_j")?,
+            battery_j: need_f64(obj, "battery_j")?,
+            activity: need_f64(obj, "activity")?,
+            state_digest,
+        })
+    }
+}
+
+impl ServerStats {
+    /// Encodes the server section as a JSON object.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut s = String::with_capacity(224);
+        s.push_str(&format!(
+            "{{\"connections\":{},\"requests\":{},\"errors\":{},\"observes\":{},\
+             \"decides\":{},\"checkpoints\":{},\"restores\":{}",
+            self.connections,
+            self.requests,
+            self.errors,
+            self.observes,
+            self.decides,
+            self.checkpoints,
+            self.restores
+        ));
+        for (key, v) in [
+            ("observe_p50_us", self.observe_p50_us),
+            ("observe_p99_us", self.observe_p99_us),
+            ("decide_p50_us", self.decide_p50_us),
+            ("decide_p99_us", self.decide_p99_us),
+        ] {
+            s.push_str(&format!(",\"{key}\":"));
+            push_f64(&mut s, v);
+        }
+        s.push('}');
+        s
+    }
+
+    fn decode_obj(obj: &[(String, Json)]) -> Result<ServerStats, ProtocolError> {
+        Ok(ServerStats {
+            connections: need_u64(obj, "connections")?,
+            requests: need_u64(obj, "requests")?,
+            errors: need_u64(obj, "errors")?,
+            observes: need_u64(obj, "observes")?,
+            decides: need_u64(obj, "decides")?,
+            checkpoints: need_u64(obj, "checkpoints")?,
+            restores: need_u64(obj, "restores")?,
+            observe_p50_us: need_f64(obj, "observe_p50_us")?,
+            observe_p99_us: need_f64(obj, "observe_p99_us")?,
+            decide_p50_us: need_f64(obj, "decide_p50_us")?,
+            decide_p99_us: need_f64(obj, "decide_p99_us")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = [
+            Request::Hello { version: 1 },
+            Request::Observe {
+                user: 42,
+                hour: 17,
+                harvest_j: 1.2345678901234567,
+                activity: Some(0.5),
+            },
+            Request::Observe {
+                user: 0,
+                hour: 0,
+                harvest_j: 0.0,
+                activity: None,
+            },
+            Request::Decide { user: u32::MAX },
+            Request::Stats,
+            Request::Checkpoint {
+                path: "/tmp/weird \"path\"\\with\nescapes\tand unicode é🙂".into(),
+            },
+            Request::Restore {
+                path: String::new(),
+            },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.encode();
+            assert!(
+                !line.contains('\n'),
+                "encoded frame contains newline: {line}"
+            );
+            assert_eq!(Request::decode(&line).unwrap(), req, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resps = [
+            Response::Welcome {
+                version: 1,
+                users: 2000,
+            },
+            Response::Observed {
+                user: 3,
+                hour: 23,
+                budget_j: 0.18,
+            },
+            Response::Decision {
+                user: 9,
+                budget_j: 4.999999999999999,
+                accuracy: 0.87,
+                active_s: 3600.0,
+                energy_j: 5.0,
+                off_s: 0.0,
+                shares: vec![
+                    WireShare {
+                        id: 4,
+                        seconds: 1511.9999999,
+                    },
+                    WireShare {
+                        id: 5,
+                        seconds: 2088.0000001,
+                    },
+                ],
+            },
+            Response::Stats {
+                fleet: FleetStats {
+                    users: 10,
+                    cohorts: 10,
+                    observations: 240,
+                    harvested_j: 123.456,
+                    budget_j: 100.0,
+                    battery_j: 299.5,
+                    activity: 0.0,
+                    state_digest: 0xDEAD_BEEF_CAFE_F00D,
+                },
+                server: ServerStats {
+                    connections: 3,
+                    requests: 250,
+                    errors: 1,
+                    observes: 240,
+                    decides: 9,
+                    checkpoints: 0,
+                    restores: 0,
+                    observe_p50_us: 1.5,
+                    observe_p99_us: 12.0,
+                    decide_p50_us: 0.5,
+                    decide_p99_us: 4.0,
+                },
+            },
+            Response::CheckpointDone {
+                path: "/tmp/ckpt.bin".into(),
+                bytes: 123_456,
+            },
+            Response::RestoreDone {
+                path: "snap".into(),
+                users: 64,
+            },
+            Response::ShuttingDown,
+            Response::Error {
+                code: ErrorCode::Malformed,
+                message: "broken \"frame\"".into(),
+            },
+        ];
+        for resp in resps {
+            let line = resp.encode();
+            assert!(
+                !line.contains('\n'),
+                "encoded frame contains newline: {line}"
+            );
+            assert_eq!(Response::decode(&line).unwrap(), resp, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for line in [
+            "",
+            "not json",
+            "{",
+            "{}",
+            "[1,2]",
+            "{\"type\":\"nope\"}",
+            "{\"type\":\"observe\",\"user\":1}",
+            "{\"type\":\"observe\",\"user\":-1,\"hour\":0,\"harvest_j\":1}",
+            "{\"type\":\"observe\",\"user\":1.5,\"hour\":0,\"harvest_j\":1}",
+            "{\"type\":\"decide\",\"user\":\"three\"}",
+            "{\"type\":\"hello\",\"version\":1} trailing",
+            "{\"type\":\"checkpoint\",\"path\":7}",
+            "{\"type\":\"hello\",\"version\":1e999}",
+            "{\"type\":\"error\",\"code\":\"martian\",\"message\":\"x\"}",
+        ] {
+            assert!(Request::decode(line).is_err(), "accepted request: {line:?}");
+            assert!(
+                Response::decode(line).is_err(),
+                "accepted response: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let req = Request::decode("{\"type\":\"checkpoint\",\"path\":\"\\u00e9\\ud83d\\ude02x\"}")
+            .unwrap();
+        assert_eq!(
+            req,
+            Request::Checkpoint {
+                path: "é😂x".into()
+            }
+        );
+        assert!(Request::decode("{\"type\":\"checkpoint\",\"path\":\"\\ud83d\"}").is_err());
+    }
+}

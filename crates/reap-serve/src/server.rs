@@ -1,0 +1,480 @@
+//! The TCP daemon: bounded thread-per-connection serving over the
+//! sharded resident state.
+//!
+//! [`Server::bind`] takes any address (tests bind `127.0.0.1:0` and read
+//! the kernel-assigned port back with [`Server::local_addr`] — no
+//! hardcoded ports anywhere); [`Server::serve`] then accepts until a
+//! [`ServerHandle::shutdown`] or an in-band `Shutdown` request. Each
+//! connection runs on its own thread, admitted through a
+//! `Mutex + Condvar` gate that caps concurrent connections; excess
+//! accepts wait for a slot rather than being dropped.
+//!
+//! Graceful shutdown: the flag flips, a dummy self-connection wakes the
+//! blocking accept, and in-flight connections drain — every connection
+//! reads with a short timeout, notices the flag at the next boundary,
+//! and closes after finishing the request in hand. Once every handler
+//! has joined, an exit checkpoint is written if
+//! [`ServerConfig::checkpoint_on_exit`] is set, and `serve` returns.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{
+    ErrorCode, ProtocolError, Request, Response, WireShare, MAX_LINE_BYTES, PROTOCOL_VERSION,
+};
+use crate::snapshot;
+use crate::state::FleetState;
+
+/// How long a connection read blocks before re-checking the shutdown
+/// flag; the upper bound on drain latency for an idle connection.
+const READ_POLL: Duration = Duration::from_millis(250);
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Maximum concurrent connections; further accepts wait for a slot.
+    /// `0` means the default (64).
+    pub max_connections: usize,
+    /// Write a final snapshot here during graceful shutdown.
+    pub checkpoint_on_exit: Option<PathBuf>,
+}
+
+/// Everything connection handlers share.
+struct Shared {
+    state: FleetState,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A bound, not-yet-serving daemon. Grab [`Server::local_addr`] and a
+/// [`ServerHandle`] before calling [`Server::serve`] (which blocks until
+/// shutdown).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    max_connections: usize,
+    checkpoint_on_exit: Option<PathBuf>,
+}
+
+/// A cheap clonable handle that can stop a running [`Server`] from any
+/// thread (or signal handler watcher).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Requests graceful shutdown: stop accepting, drain in-flight
+    /// connections, write the exit checkpoint if configured. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // A blocking `accept` only notices the flag on its next return;
+        // poke it with a throwaway connection.
+        let _ = TcpStream::connect(self.shared.addr);
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+impl Server {
+    /// Binds the daemon to `addr` over `state`. Bind port 0 to let the
+    /// kernel pick a free port (read it back with
+    /// [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        state: FleetState,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                state,
+                metrics: ServerMetrics::new(),
+                shutdown: AtomicBool::new(false),
+                addr,
+            }),
+            max_connections: if config.max_connections == 0 {
+                64
+            } else {
+                config.max_connections
+            },
+            checkpoint_on_exit: config.checkpoint_on_exit,
+        })
+    }
+
+    /// The address actually bound — with port 0, the kernel-assigned
+    /// port appears here.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A handle that can stop this server from another thread.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Accepts and serves connections until shutdown, then drains
+    /// in-flight connections and (if configured) writes the exit
+    /// checkpoint. Returns once the last connection has closed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates exit-checkpoint write failures; accept errors on
+    /// individual connections are skipped, not fatal.
+    pub fn serve(self) -> io::Result<()> {
+        let gate = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+
+        for incoming in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = incoming else { continue };
+            // The shutdown self-connect lands here: re-check before
+            // admitting it as a real session.
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            handlers.retain(|h| !h.is_finished());
+            {
+                let (count, cv) = &*gate;
+                let mut active = count
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                while *active >= self.max_connections {
+                    active = cv
+                        .wait(active)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                *active += 1;
+            }
+            self.shared
+                .metrics
+                .connections
+                .fetch_add(1, Ordering::Relaxed);
+            let shared = Arc::clone(&self.shared);
+            let gate = Arc::clone(&gate);
+            handlers.push(std::thread::spawn(move || {
+                handle_connection(stream, &shared);
+                let (count, cv) = &*gate;
+                let mut active = count
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                *active -= 1;
+                cv.notify_one();
+            }));
+        }
+
+        // Drain: every handler notices the flag within one read-poll.
+        for h in handlers {
+            let _ = h.join();
+        }
+        if let Some(path) = &self.checkpoint_on_exit {
+            std::fs::write(path, snapshot::snapshot(&self.shared.state))?;
+        }
+        Ok(())
+    }
+}
+
+/// What one attempt to pull a line off the socket produced.
+enum ReadOutcome {
+    Line(Vec<u8>),
+    Eof,
+    TimedOut,
+    Oversized,
+    Failed,
+}
+
+/// Incremental line framing over a read-timeout socket: bytes accumulate
+/// across timeouts, lines split off as newlines arrive.
+struct LineReader {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl LineReader {
+    fn next_line(&mut self) -> ReadOutcome {
+        loop {
+            if let Some(nl) = self.pending.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.pending.drain(..=nl).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return ReadOutcome::Line(line);
+            }
+            if self.pending.len() >= MAX_LINE_BYTES {
+                return ReadOutcome::Oversized;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Eof,
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return ReadOutcome::TimedOut;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Failed,
+            }
+        }
+    }
+
+    /// Discards buffered and in-flight input before a server-initiated
+    /// close. Closing with unread bytes in the receive buffer makes the
+    /// kernel send RST, which can destroy the error frame we just queued;
+    /// draining (bounded, so a firehosing peer can't pin the thread)
+    /// lets the close go out as a clean FIN after the frame.
+    fn drain_before_close(&mut self) {
+        self.pending.clear();
+        let mut chunk = [0u8; 4096];
+        for _ in 0..256 {
+            match self.stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {}
+            }
+        }
+    }
+}
+
+fn send(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let mut line = response.encode();
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+fn send_error(stream: &mut TcpStream, shared: &Shared, err: ProtocolError) -> io::Result<()> {
+    shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+    send(stream, &Response::from(err))
+}
+
+/// Runs one session: handshake, then one response frame per request
+/// until EOF, a fatal framing error, or shutdown.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = LineReader {
+        stream: read_half,
+        pending: Vec::new(),
+    };
+
+    let mut greeted = false;
+    loop {
+        let line = match reader.next_line() {
+            ReadOutcome::Line(line) => line,
+            ReadOutcome::Eof | ReadOutcome::Failed => return,
+            ReadOutcome::TimedOut => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return; // drained
+                }
+                continue;
+            }
+            ReadOutcome::Oversized => {
+                // The frame boundary is gone; report and close.
+                let _ = send_error(
+                    &mut stream,
+                    shared,
+                    ProtocolError::new(
+                        ErrorCode::Oversized,
+                        format!("line exceeds {MAX_LINE_BYTES} bytes"),
+                    ),
+                );
+                reader.drain_before_close();
+                return;
+            }
+        };
+        let Ok(text) = std::str::from_utf8(&line) else {
+            if send_error(
+                &mut stream,
+                shared,
+                ProtocolError::new(ErrorCode::Malformed, "frame is not UTF-8"),
+            )
+            .is_err()
+            {
+                return;
+            }
+            continue;
+        };
+        if text.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::decode(text) {
+            Ok(r) => r,
+            Err(e) => {
+                if send_error(&mut stream, shared, e).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+
+        if !greeted {
+            match request {
+                Request::Hello { version } if version == PROTOCOL_VERSION => {
+                    greeted = true;
+                    if send(
+                        &mut stream,
+                        &Response::Welcome {
+                            version: PROTOCOL_VERSION,
+                            users: shared.state.users(),
+                        },
+                    )
+                    .is_err()
+                    {
+                        return;
+                    }
+                    continue;
+                }
+                Request::Hello { version } => {
+                    // Version-mismatch refusal: error frame, then close.
+                    let _ = send_error(
+                        &mut stream,
+                        shared,
+                        ProtocolError::new(
+                            ErrorCode::Version,
+                            format!("client speaks v{version}, server v{PROTOCOL_VERSION}"),
+                        ),
+                    );
+                    return;
+                }
+                _ => {
+                    let _ = send_error(
+                        &mut stream,
+                        shared,
+                        ProtocolError::new(ErrorCode::Handshake, "first frame must be a hello"),
+                    );
+                    return;
+                }
+            }
+        }
+
+        shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let mut close_after = false;
+        let response = match request {
+            Request::Hello { .. } => Response::from(ProtocolError::new(
+                ErrorCode::Handshake,
+                "session already greeted",
+            )),
+            Request::Observe {
+                user,
+                hour,
+                harvest_j,
+                activity,
+            } => {
+                let t0 = Instant::now();
+                let outcome = shared.state.observe(user, hour, harvest_j, activity);
+                shared.metrics.observe_latency.record(t0.elapsed());
+                shared.metrics.observes.fetch_add(1, Ordering::Relaxed);
+                match outcome {
+                    Ok(budget_j) => Response::Observed {
+                        user,
+                        hour: hour % 24,
+                        budget_j,
+                    },
+                    Err(e) => Response::from(e),
+                }
+            }
+            Request::Decide { user } => {
+                let t0 = Instant::now();
+                let outcome = shared.state.decide(user);
+                shared.metrics.decide_latency.record(t0.elapsed());
+                shared.metrics.decides.fetch_add(1, Ordering::Relaxed);
+                match outcome {
+                    Ok(out) => Response::Decision {
+                        user,
+                        budget_j: out.budget_j,
+                        accuracy: out.decision.eval.accuracy,
+                        active_s: out.decision.eval.active_s,
+                        energy_j: out.decision.eval.energy_j,
+                        off_s: out.decision.off_s,
+                        shares: out
+                            .decision
+                            .shares()
+                            .iter()
+                            .map(|s| WireShare {
+                                id: s.id,
+                                seconds: s.seconds,
+                            })
+                            .collect(),
+                    },
+                    Err(e) => Response::from(e),
+                }
+            }
+            Request::Stats => Response::Stats {
+                fleet: shared.state.fleet_stats(),
+                server: shared.metrics.server_stats(),
+            },
+            Request::Checkpoint { path } => {
+                shared.metrics.checkpoints.fetch_add(1, Ordering::Relaxed);
+                let bytes = snapshot::snapshot(&shared.state);
+                match std::fs::write(&path, &bytes) {
+                    Ok(()) => Response::CheckpointDone {
+                        path,
+                        bytes: bytes.len() as u64,
+                    },
+                    Err(e) => Response::from(ProtocolError::new(
+                        ErrorCode::Snapshot,
+                        format!("writing {path:?}: {e}"),
+                    )),
+                }
+            }
+            Request::Restore { path } => {
+                shared.metrics.restores.fetch_add(1, Ordering::Relaxed);
+                match std::fs::read(&path) {
+                    Ok(bytes) => match snapshot::restore(&shared.state, &bytes) {
+                        Ok(users) => Response::RestoreDone { path, users },
+                        Err(e) => Response::from(e),
+                    },
+                    Err(e) => Response::from(ProtocolError::new(
+                        ErrorCode::Snapshot,
+                        format!("reading {path:?}: {e}"),
+                    )),
+                }
+            }
+            Request::Shutdown => {
+                close_after = true;
+                Response::ShuttingDown
+            }
+        };
+        let is_error = matches!(response, Response::Error { .. });
+        if is_error {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if send(&mut stream, &response).is_err() {
+            return;
+        }
+        if close_after {
+            // Flip the flag only after the acknowledgement is on the
+            // wire, then poke the blocking accept awake.
+            shared.shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(shared.addr);
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Versioned binary snapshots of the resident population.
+//!
+//! Layout (all integers and floats little-endian):
+//!
+//! ```text
+//! magic        8 bytes   b"REAPSNAP"
+//! version      u32       SNAPSHOT_VERSION
+//! fingerprint  u64       FleetState::fingerprint() of the writer
+//! ewma_alpha   f64       allocator smoothing factor of the writer
+//! users        u32       population size
+//! records      users × RECORD_BYTES   per-user records, user-index order
+//! digest       u64       FNV-1a over the records region
+//! ```
+//!
+//! Each per-user record is fixed-size (252 bytes):
+//!
+//! ```text
+//! flags        u32       bit 0: allocator first_call_done
+//! last_hour    u32       hour-of-day of the last observation; u32::MAX = none
+//! seen_mask    u32       DiurnalEwma seeded-slot bitmask (24 bits)
+//! observations u64
+//! vbat_level   f64       virtual-battery level, joules (exact bits)
+//! last_harvest f64       joules
+//! harvested_j  f64       running sum
+//! budget_j     f64       running sum
+//! activity     f64       running sum
+//! estimates    24 × f64  DiurnalEwma per-slot estimates (exact bits)
+//! ```
+//!
+//! Every `f64` is stored as its exact bit pattern, and restore reinjects
+//! those bits unmodified — so a restored population's subsequent budgets,
+//! stats, and digest are *bit-identical* to the uninterrupted original
+//! (the property the checkpoint tests pin). The fingerprint ties a
+//! snapshot to the fleet configuration that wrote it: restoring into a
+//! state built from a different fleet (different seed, size, points, or
+//! sources) is refused rather than silently misapplied.
+
+use reap_harvest::{DiurnalEwma, EwmaAllocator};
+use reap_units::Energy;
+
+use crate::protocol::{ErrorCode, ProtocolError};
+use crate::state::{FleetState, Fnv, UserState, NO_HOUR};
+
+/// Snapshot format version; bumped on any layout change.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// The 8-byte magic opening every snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"REAPSNAP";
+
+/// Fixed size of one per-user record.
+pub(crate) const RECORD_BYTES: usize = 4 + 4 + 4 + 8 + 5 * 8 + 24 * 8;
+
+const HEADER_BYTES: usize = 8 + 4 + 8 + 8 + 4;
+
+/// Serializes one user's resident state into its fixed-size record —
+/// also the unit the stats digest hashes, so "digest equal" and
+/// "snapshot equal" are the same statement.
+pub(crate) fn user_record(state: &UserState) -> [u8; RECORD_BYTES] {
+    let mut rec = [0u8; RECORD_BYTES];
+    let mut at = 0usize;
+    let mut put = |bytes: &[u8]| {
+        rec[at..at + bytes.len()].copy_from_slice(bytes);
+        at += bytes.len();
+    };
+    let flags: u32 = u32::from(state.alloc.first_call_done());
+    put(&flags.to_le_bytes());
+    put(&state.last_hour.to_le_bytes());
+    let (estimates, seen_mask) = state.alloc.diurnal().to_parts();
+    put(&seen_mask.to_le_bytes());
+    put(&state.observations.to_le_bytes());
+    put(&state.vbat.level().joules().to_le_bytes());
+    put(&state.last_harvest.joules().to_le_bytes());
+    put(&state.harvested_j.to_le_bytes());
+    put(&state.budget_j.to_le_bytes());
+    put(&state.activity.to_le_bytes());
+    for e in estimates {
+        put(&e.to_le_bytes());
+    }
+    debug_assert_eq!(at, RECORD_BYTES);
+    rec
+}
+
+/// Serializes the whole population into snapshot bytes. Takes all shard
+/// locks for the duration, so the snapshot is an atomic cut of the
+/// fleet.
+#[must_use]
+pub fn snapshot(state: &FleetState) -> Vec<u8> {
+    let users = state.users() as usize;
+    let mut out = Vec::with_capacity(HEADER_BYTES + users * RECORD_BYTES + 8);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&state.fingerprint().to_le_bytes());
+    out.extend_from_slice(&state.ewma_alpha().to_le_bytes());
+    out.extend_from_slice(&state.users().to_le_bytes());
+    state.for_each_user_in_order(|u| out.extend_from_slice(&user_record(u)));
+    let mut digest = Fnv::new();
+    digest.write_bytes(&out[HEADER_BYTES..]);
+    out.extend_from_slice(&digest.finish().to_le_bytes());
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], ProtocolError> {
+        if self.at + N > self.bytes.len() {
+            return Err(ProtocolError::new(
+                ErrorCode::Snapshot,
+                format!("snapshot truncated at byte {}", self.at),
+            ));
+        }
+        let mut buf = [0u8; N];
+        buf.copy_from_slice(&self.bytes[self.at..self.at + N]);
+        self.at += N;
+        Ok(buf)
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_le_bytes(self.take()?))
+    }
+}
+
+/// Replaces the whole population's resident state from snapshot bytes.
+/// Validates magic, version, fleet fingerprint, user count, and the
+/// trailing digest before touching any state, then rewrites every user
+/// atomically (all shard locks held). Returns the number of users
+/// restored.
+///
+/// # Errors
+///
+/// [`ErrorCode::Snapshot`] when the bytes are truncated or corrupt, the
+/// version is unknown, the fingerprint does not match this state's
+/// fleet, or a record carries an out-of-range value.
+pub fn restore(state: &FleetState, bytes: &[u8]) -> Result<u32, ProtocolError> {
+    let mut r = Reader { bytes, at: 0 };
+    let magic: [u8; 8] = r.take()?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(ProtocolError::new(
+            ErrorCode::Snapshot,
+            "not a REAP snapshot (bad magic)",
+        ));
+    }
+    let version = r.u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(ProtocolError::new(
+            ErrorCode::Snapshot,
+            format!("snapshot version {version}, this build reads {SNAPSHOT_VERSION}"),
+        ));
+    }
+    let fingerprint = r.u64()?;
+    if fingerprint != state.fingerprint() {
+        return Err(ProtocolError::new(
+            ErrorCode::Snapshot,
+            format!(
+                "snapshot fingerprint {fingerprint:016x} does not match this fleet \
+                 ({:016x}); it was written by a different configuration",
+                state.fingerprint()
+            ),
+        ));
+    }
+    let ewma_alpha = r.f64()?;
+    if ewma_alpha.to_bits() != state.ewma_alpha().to_bits() {
+        return Err(ProtocolError::new(
+            ErrorCode::Snapshot,
+            format!(
+                "snapshot allocator alpha {ewma_alpha} differs from this build's {}",
+                state.ewma_alpha()
+            ),
+        ));
+    }
+    let users = r.u32()?;
+    if users != state.users() {
+        return Err(ProtocolError::new(
+            ErrorCode::Snapshot,
+            format!("snapshot holds {users} users, this fleet {}", state.users()),
+        ));
+    }
+    let records_len = users as usize * RECORD_BYTES;
+    if bytes.len() != HEADER_BYTES + records_len + 8 {
+        return Err(ProtocolError::new(
+            ErrorCode::Snapshot,
+            format!(
+                "snapshot is {} bytes, expected {}",
+                bytes.len(),
+                HEADER_BYTES + records_len + 8
+            ),
+        ));
+    }
+    let mut digest = Fnv::new();
+    digest.write_bytes(&bytes[HEADER_BYTES..HEADER_BYTES + records_len]);
+    let stored = u64::from_le_bytes(
+        bytes[HEADER_BYTES + records_len..]
+            .try_into()
+            .expect("length checked above"),
+    );
+    if digest.finish() != stored {
+        return Err(ProtocolError::new(
+            ErrorCode::Snapshot,
+            "snapshot digest mismatch (corrupt records)",
+        ));
+    }
+
+    // Decode every record before mutating anything, so a bad record
+    // cannot leave the population half-restored.
+    let mut decoded = Vec::with_capacity(users as usize);
+    for user in 0..users {
+        decoded.push(decode_record(&mut r, ewma_alpha, user)?);
+    }
+
+    let mut next = decoded.into_iter();
+    state.for_each_user_in_order_mut(|u| {
+        let d = next.next().expect("one decoded record per user");
+        u.alloc = d.alloc;
+        u.vbat
+            .set_level(d.vbat_level)
+            .expect("level validated during decode");
+        u.last_harvest = d.last_harvest;
+        u.last_hour = d.last_hour;
+        u.observations = d.observations;
+        u.harvested_j = d.harvested_j;
+        u.budget_j = d.budget_j;
+        u.activity = d.activity;
+    });
+    Ok(users)
+}
+
+struct DecodedUser {
+    alloc: EwmaAllocator,
+    vbat_level: Energy,
+    last_harvest: Energy,
+    last_hour: u32,
+    observations: u64,
+    harvested_j: f64,
+    budget_j: f64,
+    activity: f64,
+}
+
+fn decode_record(
+    r: &mut Reader<'_>,
+    ewma_alpha: f64,
+    user: u32,
+) -> Result<DecodedUser, ProtocolError> {
+    let bad = |what: &str| ProtocolError::new(ErrorCode::Snapshot, format!("user {user}: {what}"));
+    let flags = r.u32()?;
+    if flags > 1 {
+        return Err(bad("unknown flag bits"));
+    }
+    let last_hour = r.u32()?;
+    if last_hour != NO_HOUR && last_hour >= 24 {
+        return Err(bad("last_hour out of range"));
+    }
+    let seen_mask = r.u32()?;
+    if seen_mask >= 1 << 24 {
+        return Err(bad("seen_mask has bits beyond slot 23"));
+    }
+    let observations = r.u64()?;
+    let vbat_level = r.f64()?;
+    let last_harvest = r.f64()?;
+    let harvested_j = r.f64()?;
+    let budget_j = r.f64()?;
+    let activity = r.f64()?;
+    if !vbat_level.is_finite() || !(0.0..=60.0).contains(&vbat_level) {
+        return Err(bad("battery level outside [0, capacity]"));
+    }
+    if !last_harvest.is_finite() || last_harvest < 0.0 {
+        return Err(bad("negative or non-finite last_harvest"));
+    }
+    for (name, v) in [
+        ("harvested_j", harvested_j),
+        ("budget_j", budget_j),
+        ("activity", activity),
+    ] {
+        if !v.is_finite() {
+            return Err(bad(&format!("non-finite {name}")));
+        }
+    }
+    let mut estimates = [0.0f64; 24];
+    for slot in &mut estimates {
+        let e = r.f64()?;
+        if !e.is_finite() {
+            return Err(bad("non-finite EWMA estimate"));
+        }
+        *slot = e;
+    }
+    Ok(DecodedUser {
+        alloc: EwmaAllocator::from_parts(
+            DiurnalEwma::from_parts(ewma_alpha, estimates, seen_mask),
+            flags & 1 == 1,
+        ),
+        vbat_level: Energy::from_joules(vbat_level),
+        last_harvest: Energy::from_joules(last_harvest),
+        last_hour,
+        observations,
+        harvested_j,
+        budget_j,
+        activity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reap_sim::Fleet;
+    use reap_units::Power;
+
+    fn fleet(users: u32, seed: u64) -> Fleet {
+        Fleet::builder(vec![
+            reap_core::OperatingPoint::new(1, "DP1", 0.94, Power::from_milliwatts(2.76)).unwrap(),
+            reap_core::OperatingPoint::new(5, "DP5", 0.76, Power::from_milliwatts(1.20)).unwrap(),
+        ])
+        .users(users)
+        .days(1)
+        .seed(seed)
+        .build()
+        .unwrap()
+    }
+
+    fn warmed(users: u32, seed: u64, hours: u32) -> FleetState {
+        let state = FleetState::new(&fleet(users, seed), 3).unwrap();
+        for u in 0..users {
+            for h in 0..hours {
+                let harvest = f64::from((u + h) % 5) * 0.7;
+                let _ = state.observe(u, h, harvest, Some(0.1));
+            }
+        }
+        state
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let state = warmed(6, 9, 30);
+        let stats_before = state.fleet_stats();
+        let bytes = snapshot(&state);
+
+        // Restore into a *fresh* state built from the same fleet.
+        let fresh = FleetState::new(&fleet(6, 9), 5).unwrap();
+        assert_ne!(fresh.fleet_stats(), stats_before);
+        assert_eq!(restore(&fresh, &bytes).unwrap(), 6);
+        assert_eq!(fresh.fleet_stats(), stats_before);
+        // And the two populations keep agreeing after more observations.
+        for u in 0..6u32 {
+            let a = state.observe(u, 6, 1.25, None).unwrap();
+            let b = fresh.observe(u, 6, 1.25, None).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "user {u} diverged after restore");
+        }
+        assert_eq!(fresh.fleet_stats(), state.fleet_stats());
+    }
+
+    #[test]
+    fn restore_refuses_foreign_and_corrupt_snapshots() {
+        let state = warmed(4, 1, 10);
+        let bytes = snapshot(&state);
+
+        // Different seed → different fingerprint.
+        let other = FleetState::new(&fleet(4, 2), 1).unwrap();
+        assert_eq!(
+            restore(&other, &bytes).unwrap_err().code,
+            ErrorCode::Snapshot
+        );
+        // Different population size.
+        let bigger = FleetState::new(&fleet(5, 1), 1).unwrap();
+        assert_eq!(
+            restore(&bigger, &bytes).unwrap_err().code,
+            ErrorCode::Snapshot
+        );
+
+        let same = FleetState::new(&fleet(4, 1), 1).unwrap();
+        // Truncation.
+        assert!(restore(&same, &bytes[..bytes.len() - 1]).is_err());
+        assert!(restore(&same, &[]).is_err());
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(restore(&same, &bad).is_err());
+        // Unknown version.
+        let mut bad = bytes.clone();
+        bad[8] = 99;
+        assert!(restore(&same, &bad).is_err());
+        // A flipped record byte breaks the digest.
+        let mut bad = bytes.clone();
+        let record_byte = 8 + 4 + 8 + 8 + 4 + 16;
+        bad[record_byte] ^= 0x01;
+        assert!(restore(&same, &bad).is_err());
+        // None of the failed restores touched the target.
+        assert_eq!(same.fleet_stats().observations, 0);
+        // The pristine bytes still restore fine afterwards.
+        assert_eq!(restore(&same, &bytes).unwrap(), 4);
+        assert_eq!(same.fleet_stats(), state.fleet_stats());
+    }
+
+    #[test]
+    fn record_size_matches_layout() {
+        assert_eq!(RECORD_BYTES, 252);
+        let state = warmed(1, 3, 2);
+        assert_eq!(snapshot(&state).len(), 8 + 4 + 8 + 8 + 4 + 252 + 8);
+    }
+}

@@ -89,12 +89,19 @@ pub struct Fleet {
 /// Everything user-specific that is *not* the shared base trace: the
 /// LOUO-perturbed operating points, the preference `alpha`, and the
 /// harvest-trace perturbation. A pure function of `(master seed, user
-/// index)`; both the scalar replay path ([`Fleet::user_scenario`]) and
-/// the SoA core derive users from this one definition.
-pub(crate) struct UserParams {
-    pub(crate) points: Vec<OperatingPoint>,
-    pub(crate) alpha: f64,
-    pub(crate) perturbation: TracePerturbation,
+/// index)`; the scalar replay path ([`Fleet::user_scenario`]), the SoA
+/// core, and external resident-state builders (the `reap-serve` daemon)
+/// all derive users from this one definition via
+/// [`Fleet::user_params`].
+#[derive(Debug, Clone)]
+pub struct UserParams {
+    /// The user's LOUO-perturbed operating points.
+    pub points: Vec<OperatingPoint>,
+    /// The user's energy/accuracy preference.
+    pub alpha: f64,
+    /// The user's harvest-trace perturbation (gain + phase over the
+    /// shared base trace).
+    pub perturbation: TracePerturbation,
 }
 
 /// Builder for [`Fleet`]; see [`Fleet::builder`].
@@ -235,9 +242,16 @@ impl Fleet {
     }
 
     /// Derives user `user`'s parameters (perturbed points, `alpha`, trace
-    /// perturbation) — the single definition both [`Fleet::user_scenario`]
-    /// and the SoA core build users from.
-    pub(crate) fn user_params(&self, user: u32) -> Result<UserParams, SimError> {
+    /// perturbation) — the single definition [`Fleet::user_scenario`],
+    /// the SoA core, and resident serving state all build users from.
+    /// Cheap (`O(points)`, no trace generation), so callers standing up
+    /// per-user state for a whole population can loop it.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Core`] when a perturbed operating point fails
+    /// validation (cannot happen for spreads accepted by the builder).
+    pub fn user_params(&self, user: u32) -> Result<UserParams, SimError> {
         // Perturbation seed: user-distinct but stable under fleet
         // resizing.
         let trace_seed = self

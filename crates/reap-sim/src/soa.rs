@@ -1,6 +1,6 @@
 //! The data-oriented fleet core: struct-of-arrays hour stepping.
 //!
-//! The scalar engine ([`crate::engine`]) simulates one user at a time,
+//! The scalar engine (`crate::engine`) simulates one user at a time,
 //! with per-user heap state (boxed allocator, `Schedule`s, an
 //! `HourRecord` per hour). That is the right shape for replaying one
 //! user; it is the wrong shape for a million. This module batches the
@@ -10,14 +10,16 @@
 //!   accumulators as `Vec<f64>`; cohort ids as `Vec<u32>`), stepped by
 //!   tight per-hour kernels that allocate nothing per user;
 //! * users sharing `(operating points, alpha)` form a *cohort* and
-//!   resolve through one cached [`FrontierTable`] — the frontier build is
+//!   resolve through one cached [`FrontierTable`](reap_core::FrontierTable)
+//!   — the frontier build is
 //!   shared and each hourly budget lookup is a pointer-free linear
 //!   interpolation ([`reap_core::FrontierTable::eval`]);
 //! * users on the same harvest source share one base trace and store
 //!   only their [`TracePerturbation`](reap_harvest::TracePerturbation)
 //!   (16 bytes) instead of a materialized month;
-//! * users are processed in shards ([`FleetBuilder::shard_users`]
-//!   (crate::FleetBuilder::shard_users)): one shard's state walks all
+//! * users are processed in shards
+//!   ([`FleetBuilder::shard_users`](crate::FleetBuilder::shard_users)):
+//!   one shard's state walks all
 //!   hours before the next shard starts, so the working set stays
 //!   cache-resident, and shards parallelize across worker threads.
 //!

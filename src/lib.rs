@@ -83,6 +83,11 @@ pub mod sim {
     pub use reap_sim::*;
 }
 
+/// Resident fleet-as-a-service policy daemon. Re-export of [`reap_serve`].
+pub mod serve {
+    pub use reap_serve::*;
+}
+
 /// The types most applications need, in one import.
 ///
 /// ```

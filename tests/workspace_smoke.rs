@@ -9,14 +9,15 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-/// The six examples wired up in the root `Cargo.toml`.
-const EXAMPLES: [&str; 6] = [
+/// The seven examples wired up in the root `Cargo.toml`.
+const EXAMPLES: [&str; 7] = [
     "quickstart",
     "har_pipeline",
     "alpha_tradeoff",
     "horizon_planning",
     "runtime_adaptation",
     "solar_month",
+    "serve_client",
 ];
 
 /// `target/<profile>/examples`, derived from this test binary's own path
