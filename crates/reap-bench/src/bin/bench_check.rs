@@ -16,7 +16,7 @@
 //! instead of silently dropping out. Explicit pairs remain for local use.
 //!
 //! Each pair must share a known bench schema (`reap-bench/planner-v1`,
-//! `reap-bench/fleet-v2`, `reap-bench/mpc-v1`, `reap-bench/serve-v1`);
+//! `reap-bench/fleet-v2`, `reap-bench/mpc-v1`, `reap-bench/serve-v2`);
 //! the tracked throughput metrics per schema live in
 //! [`reap_bench::regression`]. The default threshold tolerates a 25%
 //! slowdown — wide enough for shared-runner noise, tight enough to catch

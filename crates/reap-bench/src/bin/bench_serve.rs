@@ -9,18 +9,26 @@
 //!
 //! An in-process server binds `127.0.0.1:0` (kernel-assigned port — no
 //! hardcoded ports) holding the standard 2000-user bench fleet resident.
-//! Eight client threads connect, stream one simulated day of observations
-//! each to warm the resident EWMA/battery state, then hammer `decide` —
-//! the cached-frontier lookup path — recording client-side round-trip
-//! latencies in a merged histogram. Throughput is the best of three
-//! measured rounds (the work is identical each round; the minimum wall
-//! time isolates the request path from scheduler noise).
+//! Eight client threads connect through the self-healing [`RetryClient`]
+//! (the deployment path), stream one simulated day of seq-stamped
+//! observations each to warm the resident EWMA/battery state, then
+//! hammer `decide` — the cached-frontier lookup path — recording
+//! client-side round-trip latencies in a merged histogram. Throughput is
+//! the best of three measured rounds (the work is identical each round;
+//! the minimum wall time isolates the request path from scheduler
+//! noise). The `serve-v2` baseline also records the resilience counters
+//! (client retries/reconnects, server errors/evictions/sheds) — all of
+//! which must be zero on a fault-free loopback run, so a regression that
+//! makes the healthy path retry shows up in the committed baseline.
 
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use reap_bench::{has_quick_flag, CharMode};
-use reap_serve::{Client, FleetState, LatencyHistogram, Request, Response, Server, ServerConfig};
+use reap_serve::{
+    Client, FleetState, LatencyHistogram, Request, Response, RetryClient, RetryConfig, Server,
+    ServerConfig,
+};
 use reap_sim::Fleet;
 
 /// Resident users — matches the fleet bench population.
@@ -65,24 +73,17 @@ fn main() {
         .map(|t| {
             let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || {
-                let mut client = Client::connect(addr).expect("client connects");
+                let mut client =
+                    RetryClient::connect(addr, RetryConfig::default()).expect("client connects");
                 let owned: Vec<u32> = (t as u32..users).step_by(CLIENT_THREADS).collect();
-                // Warm the resident state: one simulated day per owned user.
+                // Warm the resident state: one simulated day per owned
+                // user, seq-stamped (the idempotent replay-safe path).
                 for hour in 0..24u32 {
                     for &user in &owned {
                         let harvest_j = f64::from((user * 7 + hour) % 6) * 0.45;
-                        match client
-                            .request(&Request::Observe {
-                                user,
-                                hour,
-                                harvest_j,
-                                activity: Some(0.125),
-                            })
-                            .expect("observe")
-                        {
-                            Response::Observed { .. } => {}
-                            other => panic!("unexpected observe reply: {other:?}"),
-                        }
+                        client
+                            .observe(user, hour, harvest_j, Some(0.125))
+                            .expect("observe");
                     }
                 }
                 let hist = LatencyHistogram::new();
@@ -93,24 +94,28 @@ fn main() {
                     for i in 0..decides_per_thread {
                         let user = owned[i % owned.len()];
                         let sent = Instant::now();
-                        match client.request(&Request::Decide { user }).expect("decide") {
+                        match client.decide(user).expect("decide") {
                             Response::Decision { .. } => hist.record(sent.elapsed()),
                             other => panic!("unexpected decide reply: {other:?}"),
                         }
                     }
                     walls.push(round_start.elapsed().as_secs_f64());
                 }
-                (walls, hist)
+                (walls, hist, client.retries(), client.reconnects())
             })
         })
         .collect();
 
     let mut per_thread_walls = Vec::with_capacity(CLIENT_THREADS);
     let merged = LatencyHistogram::new();
+    let mut retries = 0u64;
+    let mut reconnects = 0u64;
     for worker in workers {
-        let (walls, hist) = worker.join().expect("client thread");
+        let (walls, hist, r, rc) = worker.join().expect("client thread");
         merged.merge(&hist);
         per_thread_walls.push(walls);
+        retries += r;
+        reconnects += rc;
     }
 
     // A round isn't done until its slowest thread is: the aggregate rate
@@ -125,9 +130,9 @@ fn main() {
     let p50_us = merged.quantile_us(0.50);
     let p99_us = merged.quantile_us(0.99);
 
-    // Server-side view, for the log: request totals and handling p99.
+    // Server-side view, for the log and the resilience counters.
     let mut client = Client::connect(addr).expect("stats client");
-    match client.request(&Request::Stats).expect("stats") {
+    let server_stats = match client.request(&Request::Stats).expect("stats") {
         Response::Stats { fleet, server } => {
             println!(
                 "fleet   : {} users / {} cohorts, {} observations, digest {:016x}",
@@ -137,9 +142,10 @@ fn main() {
                 "server  : {} requests over {} connections, decide handling p99 {:.0} us",
                 server.requests, server.connections, server.decide_p99_us
             );
+            server
         }
         other => panic!("unexpected stats reply: {other:?}"),
-    }
+    };
     match client.request(&Request::Shutdown).expect("shutdown") {
         Response::ShuttingDown => {}
         other => panic!("unexpected shutdown reply: {other:?}"),
@@ -152,13 +158,23 @@ fn main() {
         best_wall_s * 1e3
     );
     println!("latency : round-trip p50 {p50_us:.0} us, p99 {p99_us:.0} us");
+    println!(
+        "faults  : {retries} retries, {reconnects} reconnects, {} server errors, \
+         {} evicted, {} shed (all should be 0 on healthy loopback)",
+        server_stats.errors, server_stats.evicted, server_stats.shed
+    );
 
     let json = format!(
-        "{{\n  \"schema\": \"reap-bench/serve-v1\",\n  \"users\": {users},\n  \
+        "{{\n  \"schema\": \"reap-bench/serve-v2\",\n  \"users\": {users},\n  \
          \"client_threads\": {CLIENT_THREADS},\n  \"decisions\": {decisions:.0},\n  \
          \"wall_ms\": {:.1},\n  \"decisions_per_s\": {decisions_per_s:.0},\n  \
-         \"decide_p50_us\": {p50_us:.1},\n  \"decide_p99_us\": {p99_us:.1}\n}}\n",
-        best_wall_s * 1e3
+         \"decide_p50_us\": {p50_us:.1},\n  \"decide_p99_us\": {p99_us:.1},\n  \
+         \"retries\": {retries},\n  \"reconnects\": {reconnects},\n  \
+         \"server_errors\": {},\n  \"evicted\": {},\n  \"shed\": {}\n}}\n",
+        best_wall_s * 1e3,
+        server_stats.errors,
+        server_stats.evicted,
+        server_stats.shed
     );
     std::fs::write(&out_path, json).expect("writable output");
     println!("wrote {out_path}");

@@ -57,8 +57,12 @@ pub fn metrics_for_schema(schema: &str) -> Option<&'static [Metric]> {
         }]),
         // The serve bench also records decide round-trip p50/p99, but only
         // throughput is gated: loopback tail latency on shared CI runners
-        // is too noisy for a hard quantile gate.
-        "reap-bench/serve-v1" => Some(&[Metric {
+        // is too noisy for a hard quantile gate. serve-v2 (the RetryClient
+        // workload) added retry/reconnect/eviction/shed counters alongside
+        // the same throughput metric; the v1 entry stays so a stale
+        // committed baseline produces a clear schema-mismatch error
+        // instead of an unknown-schema one.
+        "reap-bench/serve-v1" | "reap-bench/serve-v2" => Some(&[Metric {
             key: "decisions_per_s",
             direction: Direction::HigherIsBetter,
         }]),
@@ -336,6 +340,38 @@ mod tests {
         // Both schema generations resolve to tracked metrics on their own.
         assert!(metrics_for_schema("reap-bench/fleet-v2").is_some());
         let cmp = compare(fresh_v2, fresh_v2, 0.25).unwrap();
+        assert!(!cmp[0].regressed);
+    }
+
+    #[test]
+    fn stale_serve_baseline_schema_fails_loudly() {
+        // Same protection for the serve bench: serve-v2 (RetryClient
+        // workload + resilience counters) vs a stale committed serve-v1
+        // baseline must be a hard schema-mismatch error.
+        let stale_v1 = r#"{
+  "schema": "reap-bench/serve-v1",
+  "decisions": 200000,
+  "decisions_per_s": 90000
+}"#;
+        let fresh_v2 = r#"{
+  "schema": "reap-bench/serve-v2",
+  "decisions": 200000,
+  "decisions_per_s": 90000,
+  "retries": 0,
+  "reconnects": 0,
+  "server_errors": 0,
+  "evicted": 0,
+  "shed": 0
+}"#;
+        let err = compare(stale_v1, fresh_v2, 0.25).unwrap_err();
+        assert!(
+            err.contains("schema mismatch"),
+            "want a schema-mismatch error, got: {err}"
+        );
+        assert!(err.contains("serve-v1") && err.contains("serve-v2"));
+        // The new schema resolves and self-compares cleanly.
+        let cmp = compare(fresh_v2, fresh_v2, 0.25).unwrap();
+        assert_eq!(cmp[0].key, "decisions_per_s");
         assert!(!cmp[0].regressed);
     }
 

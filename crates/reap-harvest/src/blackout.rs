@@ -1,0 +1,225 @@
+//! Harvest blackout injection: a seeded overlay that zeroes contiguous
+//! windows of an inner source's output.
+//!
+//! Deployed harvesters lose whole stretches of input — a wearable left
+//! in a drawer, a solar cell shadowed by a parked truck, a TEG off the
+//! wrist. [`BlackoutOverlay`] models those outages as one contiguous
+//! window per day whose start hour is drawn deterministically from a
+//! seed, so fleet robustness experiments are exactly reproducible: the
+//! same `(seed, fraction)` pair blacks out the same hours every run.
+
+use reap_units::Energy;
+
+use crate::error::HarvestError;
+use crate::source::HarvestSource;
+
+/// Wraps any [`HarvestSource`] and zeroes a seeded contiguous window of
+/// hours on every day — `round(fraction * 24)` hours per day, window
+/// start drawn per-day from the seed (wrapping past midnight).
+///
+/// The overlay composes with [`HarvestSource::generate`] unchanged, so
+/// traces built through it stay valid (finite, non-negative) whenever
+/// the inner source's are.
+///
+/// ```
+/// use reap_harvest::{BlackoutOverlay, HarvestSource, SourceKind};
+///
+/// let inner = SourceKind::BodyHeat.instantiate(7);
+/// let dark = BlackoutOverlay::new(inner, 42, 0.30).unwrap();
+/// // 30% of 24 hours -> 7 blacked-out hours on every day.
+/// let blacked = (0..24)
+///     .filter(|&h| dark.hourly_energy(244, 0, h).joules() == 0.0)
+///     .count();
+/// assert_eq!(blacked, 7);
+/// ```
+pub struct BlackoutOverlay {
+    inner: Box<dyn HarvestSource>,
+    seed: u64,
+    /// Blacked-out hours per day, `0..=24`.
+    window_hours: u32,
+}
+
+impl BlackoutOverlay {
+    /// Wraps `inner` so that `round(fraction * 24)` hours of every day
+    /// harvest exactly zero.
+    ///
+    /// # Errors
+    ///
+    /// [`HarvestError::InvalidParameter`] when `fraction` is not a
+    /// finite value in `[0, 1]`.
+    pub fn new(
+        inner: Box<dyn HarvestSource>,
+        seed: u64,
+        fraction: f64,
+    ) -> Result<Self, HarvestError> {
+        if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+            return Err(HarvestError::InvalidParameter(format!(
+                "blackout fraction {fraction} outside [0, 1]"
+            )));
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let window_hours = (fraction * 24.0).round() as u32;
+        Ok(Self {
+            inner,
+            seed,
+            window_hours,
+        })
+    }
+
+    /// The number of hours blacked out on every day.
+    pub fn window_hours(&self) -> u32 {
+        self.window_hours
+    }
+
+    /// The window's start hour (0-23) on trace day `day_index`.
+    fn window_start(&self, day_index: u32) -> u32 {
+        (splitmix64(
+            self.seed ^ (u64::from(day_index).wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ) % 24) as u32
+    }
+
+    /// `true` when `hour` of trace day `day_index` falls inside the
+    /// day's blackout window (windows wrap past midnight into the same
+    /// day's early hours, keeping every day's outage exactly
+    /// [`window_hours`](Self::window_hours) long).
+    pub fn is_blacked_out(&self, day_index: u32, hour: u32) -> bool {
+        if self.window_hours == 0 {
+            return false;
+        }
+        if self.window_hours >= 24 {
+            return true;
+        }
+        let start = self.window_start(day_index);
+        let offset = (hour + 24 - start) % 24;
+        offset < self.window_hours
+    }
+}
+
+impl HarvestSource for BlackoutOverlay {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn hourly_energy(&self, day_of_year: u32, day_index: u32, hour: u32) -> Energy {
+        if self.is_blacked_out(day_index, hour % 24) {
+            Energy::ZERO
+        } else {
+            self.inner.hourly_energy(day_of_year, day_index, hour)
+        }
+    }
+
+    fn is_photovoltaic(&self) -> bool {
+        self.inner.is_photovoltaic()
+    }
+}
+
+/// The splitmix64 finalizer (same mixing the fault plan and the trace
+/// perturbations use).
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceKind;
+
+    fn body_heat(seed: u64, fraction: f64) -> BlackoutOverlay {
+        BlackoutOverlay::new(SourceKind::BodyHeat.instantiate(seed), seed, fraction)
+            .expect("valid overlay")
+    }
+
+    #[test]
+    fn fraction_is_validated() {
+        for bad in [-0.1, 1.1, f64::NAN, f64::INFINITY] {
+            assert!(BlackoutOverlay::new(SourceKind::BodyHeat.instantiate(1), 1, bad).is_err());
+        }
+        for ok in [0.0, 0.5, 1.0] {
+            assert!(BlackoutOverlay::new(SourceKind::BodyHeat.instantiate(1), 1, ok).is_ok());
+        }
+    }
+
+    #[test]
+    fn every_day_loses_exactly_the_window_and_it_is_contiguous_mod_24() {
+        let dark = body_heat(3, 0.30);
+        assert_eq!(dark.window_hours(), 7);
+        for day in 0..60 {
+            let blacked: Vec<u32> = (0..24).filter(|&h| dark.is_blacked_out(day, h)).collect();
+            assert_eq!(blacked.len(), 7, "day {day}");
+            // Contiguous mod 24: exactly one wrap-around gap between
+            // consecutive blacked hours (treating the set cyclically).
+            let gaps = (0..blacked.len())
+                .filter(|&i| {
+                    let next = blacked[(i + 1) % blacked.len()];
+                    (next + 24 - blacked[i]) % 24 != 1
+                })
+                .count();
+            assert_eq!(gaps, 1, "day {day}: window not contiguous: {blacked:?}");
+        }
+    }
+
+    #[test]
+    fn window_start_varies_by_day_and_is_seed_deterministic() {
+        let a = body_heat(9, 0.25);
+        let b = body_heat(9, 0.25);
+        let starts: Vec<u32> = (0..30).map(|d| a.window_start(d)).collect();
+        assert_eq!(
+            starts,
+            (0..30).map(|d| b.window_start(d)).collect::<Vec<_>>()
+        );
+        // Not all days share one start hour (the seed spreads windows).
+        assert!(starts.iter().any(|&s| s != starts[0]));
+    }
+
+    #[test]
+    fn blacked_hours_are_zero_and_the_rest_match_the_inner_source() {
+        let inner = SourceKind::BodyHeat.instantiate(11);
+        let dark = body_heat(11, 0.30);
+        for day in 0..7 {
+            for hour in 0..24 {
+                let got = dark.hourly_energy(244 + day, day, hour);
+                if dark.is_blacked_out(day, hour) {
+                    assert_eq!(got.joules(), 0.0);
+                } else {
+                    assert_eq!(
+                        got.joules(),
+                        inner.hourly_energy(244 + day, day, hour).joules()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_fractions_black_out_nothing_or_everything() {
+        let none = body_heat(5, 0.0);
+        let all = body_heat(5, 1.0);
+        for hour in 0..24 {
+            assert!(!none.is_blacked_out(0, hour));
+            assert!(all.is_blacked_out(0, hour));
+            assert_eq!(all.hourly_energy(244, 0, hour).joules(), 0.0);
+        }
+    }
+
+    #[test]
+    fn generated_traces_stay_valid_and_lose_energy() {
+        let inner = SourceKind::OutdoorSolar
+            .instantiate(2)
+            .generate(244, 10)
+            .unwrap();
+        let dark = body_heat_like_solar();
+        let trace = dark.generate(244, 10).expect("overlay trace generates");
+        assert_eq!(trace.days(), 10);
+        assert!(trace
+            .iter()
+            .all(|e| e.joules().is_finite() && e.joules() >= 0.0));
+        assert!(trace.total() < inner.total());
+    }
+
+    fn body_heat_like_solar() -> BlackoutOverlay {
+        BlackoutOverlay::new(SourceKind::OutdoorSolar.instantiate(2), 2, 0.30)
+            .expect("valid overlay")
+    }
+}

@@ -57,6 +57,7 @@
 
 mod allocator;
 mod battery;
+mod blackout;
 mod error;
 mod forecast;
 mod indoor;
@@ -70,6 +71,7 @@ mod trace;
 
 pub use allocator::{BudgetAllocator, EwmaAllocator, GreedyAllocator, UniformDailyAllocator};
 pub use battery::Battery;
+pub use blackout::BlackoutOverlay;
 pub use error::HarvestError;
 pub use forecast::{DiurnalEwma, EwmaForecaster, HarvestForecaster, OracleForecaster};
 pub use indoor::IndoorPhotovoltaic;

@@ -4,6 +4,8 @@
 //! reap-serve [--addr 127.0.0.1:0] [--users 2000] [--seed 0]
 //!            [--source <label>]... [--shards 16] [--max-connections 64]
 //!            [--restore <path>] [--checkpoint-on-exit <path>]
+//!            [--checkpoint-ring <dir>] [--ring-keep 4]
+//!            [--checkpoint-every-ms <ms>] [--resume]
 //! ```
 //!
 //! Builds the resident population from the same seeded [`Fleet`]
@@ -16,6 +18,13 @@
 //! Source labels are the [`SourceKind`] names: `outdoor-solar`,
 //! `indoor-pv`, `body-heat-teg`, `kinetic`. Repeat `--source` to
 //! round-robin users over several; omit it for all four.
+//!
+//! Crash safety: `--checkpoint-ring DIR` keeps a ring of the last
+//! `--ring-keep` snapshots in `DIR` (written crash-safely every
+//! `--checkpoint-every-ms`, and once at graceful shutdown); `--resume`
+//! recovers the newest digest-valid snapshot from that ring at startup,
+//! skipping torn or corrupt files — after a SIGKILL, restarting with the
+//! same flags plus `--resume` lands on the last durable checkpoint.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -68,6 +77,10 @@ struct Args {
     max_connections: usize,
     restore: Option<PathBuf>,
     checkpoint_on_exit: Option<PathBuf>,
+    checkpoint_ring: Option<PathBuf>,
+    ring_keep: usize,
+    checkpoint_every_ms: Option<u64>,
+    resume: bool,
 }
 
 fn parse_source(label: &str) -> Result<SourceKind, String> {
@@ -90,6 +103,10 @@ fn parse_args() -> Result<Args, String> {
         max_connections: 64,
         restore: None,
         checkpoint_on_exit: None,
+        checkpoint_ring: None,
+        ring_keep: 4,
+        checkpoint_every_ms: None,
+        resume: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -124,10 +141,30 @@ fn parse_args() -> Result<Args, String> {
             "--checkpoint-on-exit" => {
                 args.checkpoint_on_exit = Some(PathBuf::from(value("--checkpoint-on-exit")?));
             }
+            "--checkpoint-ring" => {
+                args.checkpoint_ring = Some(PathBuf::from(value("--checkpoint-ring")?));
+            }
+            "--ring-keep" => {
+                args.ring_keep = value("--ring-keep")?
+                    .parse()
+                    .map_err(|e| format!("--ring-keep: {e}"))?;
+                if args.ring_keep == 0 {
+                    return Err("--ring-keep must be at least 1".into());
+                }
+            }
+            "--checkpoint-every-ms" => {
+                args.checkpoint_every_ms = Some(
+                    value("--checkpoint-every-ms")?
+                        .parse()
+                        .map_err(|e| format!("--checkpoint-every-ms: {e}"))?,
+                );
+            }
+            "--resume" => args.resume = true,
             "--help" | "-h" => {
                 println!(
                     "usage: reap-serve [--addr A] [--users N] [--seed S] [--source L]... \
-                     [--shards N] [--max-connections N] [--restore P] [--checkpoint-on-exit P]"
+                     [--shards N] [--max-connections N] [--restore P] [--checkpoint-on-exit P] \
+                     [--checkpoint-ring D] [--ring-keep N] [--checkpoint-every-ms MS] [--resume]"
                 );
                 std::process::exit(0);
             }
@@ -156,6 +193,34 @@ fn run() -> Result<(), String> {
             .map_err(|e| format!("restoring {}: {e}", path.display()))?;
         println!("reap-serve: restored {users} users from {}", path.display());
     }
+    if args.resume {
+        let dir = args
+            .checkpoint_ring
+            .as_ref()
+            .ok_or("--resume needs --checkpoint-ring")?;
+        let ring = reap_serve::SnapshotRing::create(dir, args.ring_keep)
+            .map_err(|e| format!("opening ring {}: {e}", dir.display()))?;
+        match ring
+            .recover(&state)
+            .map_err(|e| format!("recovering from {}: {e}", dir.display()))?
+        {
+            Some(r) => println!(
+                "reap-serve: resumed {} users from checkpoint #{} ({}){}",
+                r.users,
+                r.seq,
+                r.path.display(),
+                if r.skipped > 0 {
+                    format!(", skipped {} invalid newer snapshot(s)", r.skipped)
+                } else {
+                    String::new()
+                }
+            ),
+            None => println!(
+                "reap-serve: no usable snapshot in {}, starting fresh",
+                dir.display()
+            ),
+        }
+    }
 
     let server = Server::bind(
         args.addr.as_str(),
@@ -163,6 +228,12 @@ fn run() -> Result<(), String> {
         ServerConfig {
             max_connections: args.max_connections,
             checkpoint_on_exit: args.checkpoint_on_exit.clone(),
+            checkpoint_ring: args.checkpoint_ring.clone(),
+            ring_keep: args.ring_keep,
+            checkpoint_every: args
+                .checkpoint_every_ms
+                .map(std::time::Duration::from_millis),
+            ..ServerConfig::default()
         },
     )
     .map_err(|e| format!("binding {}: {e}", args.addr))?;

@@ -1,15 +1,25 @@
 //! A minimal blocking client for the daemon's wire protocol, used by the
 //! examples, the end-to-end tests, and the loopback load generator.
+//!
+//! The client keeps the raw [`TcpStream`] as a *control handle* (socket
+//! options, timeouts) while reads and writes go through an [`IoLayer`]
+//! wrap — identity for [`NoFaults`] (the production path), a seeded
+//! [`crate::fault::ChaosStream`] when the chaos tests hand in an
+//! `Arc<FaultPlan>` via [`Client::connect_with_layer`]. The self-healing
+//! wrapper that survives those faults lives in [`crate::retry`].
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
+use crate::fault::{IoLayer, NoFaults};
 use crate::protocol::{Request, Response, PROTOCOL_VERSION};
 
 /// A connected, greeted session with a daemon.
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    control: TcpStream,
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
     users: u32,
 }
 
@@ -25,11 +35,28 @@ impl Client {
     /// I/O failures, a refused handshake (the server's error frame is
     /// surfaced as [`io::ErrorKind::InvalidData`]), or a garbled welcome.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Client::connect_with_layer(addr, &NoFaults)
+    }
+
+    /// [`Client::connect`] through an explicit [`IoLayer`]; chaos tests
+    /// pass an `Arc<FaultPlan>` so every read and write runs the seeded
+    /// fault schedule.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::connect`].
+    pub fn connect_with_layer<L: IoLayer>(
+        addr: impl ToSocketAddrs,
+        layer: &L,
+    ) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        let write_half = stream.try_clone()?;
         let mut client = Client {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: stream,
+            control: stream,
+            reader: BufReader::new(Box::new(layer.wrap(read_half)) as Box<dyn Read + Send>),
+            writer: Box::new(layer.wrap(write_half)),
             users: 0,
         };
         let hello = Request::Hello {
@@ -47,6 +74,18 @@ impl Client {
         }
     }
 
+    /// Sets the socket read *and* write timeout — the per-request
+    /// deadline enforcement point for [`crate::RetryClient`]. `None`
+    /// blocks forever (the default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `setsockopt` failures.
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.control.set_read_timeout(timeout)?;
+        self.control.set_write_timeout(timeout)
+    }
+
     /// Resident users reported by the welcome frame.
     #[must_use]
     pub fn users(&self) -> u32 {
@@ -62,15 +101,8 @@ impl Client {
         let mut line = request.encode();
         line.push('\n');
         self.writer.write_all(line.as_bytes())?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        Response::decode(reply.trim_end_matches(['\n', '\r'])).map_err(protocol_io)
+        self.writer.flush()?;
+        self.read_response()
     }
 
     /// Sends a raw pre-encoded line (malformed-input tests).
@@ -81,6 +113,11 @@ impl Client {
     pub fn request_raw(&mut self, line: &str) -> io::Result<Response> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
         let mut reply = String::new();
         let n = self.reader.read_line(&mut reply)?;
         if n == 0 {

@@ -16,6 +16,14 @@
 //! checkpoint/restore of the whole population ([`snapshot`] — restored
 //! state is bit-identical), and graceful drain on `Shutdown` or SIGINT.
 //!
+//! Robustness is first-class: all checkpoint writes are crash-safe
+//! (temp + fsync + atomic rename, with a retained [`SnapshotRing`] and
+//! digest-validated recovery), the server carries frame deadlines,
+//! slow-client eviction and overload shedding, a [`RetryClient`] heals
+//! itself across resets and restarts with seq-deduplicated observes,
+//! and the whole stack is testable under seeded fault injection
+//! ([`fault`]) that compiles away ([`fault::NoFaults`]) in production.
+//!
 //! # Example (in-process server + TCP client)
 //!
 //! ```
@@ -41,6 +49,7 @@
 //!     hour: 0,
 //!     harvest_j: 1.5,
 //!     activity: None,
+//!     seq: None,
 //! })?;
 //! assert!(matches!(reply, Response::Observed { user: 3, .. }));
 //! let decision = client.request(&Request::Decide { user: 3 })?;
@@ -56,17 +65,22 @@
 #![warn(missing_docs)]
 
 mod client;
+pub mod fault;
 mod metrics;
 pub mod protocol;
+mod retry;
 mod server;
 pub mod snapshot;
 mod state;
 
 pub use client::Client;
+pub use fault::{ChaosStream, CrashPoint, FaultConfig, FaultPlan, IoLayer, NoFaults};
 pub use metrics::{LatencyHistogram, ServerMetrics};
 pub use protocol::{
     ErrorCode, FleetStats, ProtocolError, Request, Response, ServerStats, WireShare,
     MAX_LINE_BYTES, PROTOCOL_VERSION,
 };
+pub use retry::{RetryClient, RetryConfig, RetryError};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use snapshot::{Recovery, SnapshotRing};
 pub use state::{DecideOutcome, FleetState};

@@ -115,6 +115,11 @@ pub struct ServerMetrics {
     pub checkpoints: AtomicU64,
     /// `restore` requests handled.
     pub restores: AtomicU64,
+    /// Connections evicted for stalling mid-frame past the frame
+    /// deadline.
+    pub evicted: AtomicU64,
+    /// `observe` requests shed under overload.
+    pub shed: AtomicU64,
     /// Server-side observe handling latency.
     pub observe_latency: LatencyHistogram,
     /// Server-side decide handling latency.
@@ -139,6 +144,8 @@ impl ServerMetrics {
             decides: self.decides.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             restores: self.restores.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             observe_p50_us: self.observe_latency.quantile_us(0.50),
             observe_p99_us: self.observe_latency.quantile_us(0.99),
             decide_p50_us: self.decide_latency.quantile_us(0.50),

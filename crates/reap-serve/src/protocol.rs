@@ -20,8 +20,11 @@
 
 use std::fmt;
 
-/// Protocol version spoken by this build; bumped on any wire change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol version spoken by this build; bumped on any wire change
+/// (v2 added the `observe` sequence number for idempotent retries, the
+/// `overloaded`/`evicted` error codes, and the shed/evicted counters in
+/// server stats).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Hard cap on one frame (including the terminating newline). Lines
 /// beyond it are rejected with an [`ErrorCode::Oversized`] frame and the
@@ -45,6 +48,12 @@ pub enum ErrorCode {
     UnknownUser,
     /// A checkpoint/restore operation failed (I/O or format).
     Snapshot,
+    /// The server is shedding this request class under overload; safe to
+    /// retry after a backoff.
+    Overloaded,
+    /// The connection is being evicted (stalled mid-frame past the
+    /// server's frame deadline).
+    Evicted,
     /// The server failed internally while handling the request.
     Internal,
 }
@@ -61,6 +70,8 @@ impl ErrorCode {
             ErrorCode::BadRequest => "bad_request",
             ErrorCode::UnknownUser => "unknown_user",
             ErrorCode::Snapshot => "snapshot",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Evicted => "evicted",
             ErrorCode::Internal => "internal",
         }
     }
@@ -76,6 +87,8 @@ impl ErrorCode {
             "bad_request" => ErrorCode::BadRequest,
             "unknown_user" => ErrorCode::UnknownUser,
             "snapshot" => ErrorCode::Snapshot,
+            "overloaded" => ErrorCode::Overloaded,
+            "evicted" => ErrorCode::Evicted,
             "internal" => ErrorCode::Internal,
             _ => return None,
         })
@@ -135,6 +148,11 @@ pub enum Request {
         harvest_j: f64,
         /// Optional activity intensity for the hour (finite if present).
         activity: Option<f64>,
+        /// Optional client sequence number (starting at 1, strictly
+        /// increasing per user) making the observe idempotent: resending
+        /// the newest applied number replays the cached budget instead of
+        /// reapplying the observation.
+        seq: Option<u64>,
     },
     /// Serve an allocation decision for the user's upcoming hour from the
     /// cohort's cached plan frontier. Read-only: repeated decides are
@@ -210,6 +228,12 @@ pub struct ServerStats {
     pub checkpoints: u64,
     /// `restore` requests handled.
     pub restores: u64,
+    /// Connections evicted for stalling mid-frame past the frame
+    /// deadline (slow-loris defense).
+    pub evicted: u64,
+    /// `observe` requests shed with [`ErrorCode::Overloaded`] while the
+    /// server was over its shed threshold.
+    pub shed: u64,
     /// Server-side observe handling p50, in microseconds.
     pub observe_p50_us: f64,
     /// Server-side observe handling p99, in microseconds.
@@ -678,6 +702,7 @@ impl Request {
                 hour,
                 harvest_j,
                 activity,
+                seq,
             } => {
                 s.push_str(&format!(
                     "{{\"type\":\"observe\",\"user\":{user},\"hour\":{hour},\"harvest_j\":"
@@ -686,6 +711,9 @@ impl Request {
                 if let Some(a) = activity {
                     s.push_str(",\"activity\":");
                     push_f64(&mut s, *a);
+                }
+                if let Some(n) = seq {
+                    s.push_str(&format!(",\"seq\":{n}"));
                 }
                 s.push('}');
             }
@@ -732,11 +760,16 @@ impl Request {
                         ))
                     }
                 };
+                let seq = match get(obj, "seq") {
+                    None | Some(Json::Null) => None,
+                    Some(_) => Some(need_u64(obj, "seq")?),
+                };
                 Ok(Request::Observe {
                     user: need_u32(obj, "user")?,
                     hour: need_u32(obj, "hour")?,
                     harvest_j: need_f64(obj, "harvest_j")?,
                     activity,
+                    seq,
                 })
             }
             "decide" => Ok(Request::Decide {
@@ -978,14 +1011,16 @@ impl ServerStats {
         let mut s = String::with_capacity(224);
         s.push_str(&format!(
             "{{\"connections\":{},\"requests\":{},\"errors\":{},\"observes\":{},\
-             \"decides\":{},\"checkpoints\":{},\"restores\":{}",
+             \"decides\":{},\"checkpoints\":{},\"restores\":{},\"evicted\":{},\"shed\":{}",
             self.connections,
             self.requests,
             self.errors,
             self.observes,
             self.decides,
             self.checkpoints,
-            self.restores
+            self.restores,
+            self.evicted,
+            self.shed
         ));
         for (key, v) in [
             ("observe_p50_us", self.observe_p50_us),
@@ -1009,6 +1044,8 @@ impl ServerStats {
             decides: need_u64(obj, "decides")?,
             checkpoints: need_u64(obj, "checkpoints")?,
             restores: need_u64(obj, "restores")?,
+            evicted: need_u64(obj, "evicted")?,
+            shed: need_u64(obj, "shed")?,
             observe_p50_us: need_f64(obj, "observe_p50_us")?,
             observe_p99_us: need_f64(obj, "observe_p99_us")?,
             decide_p50_us: need_f64(obj, "decide_p50_us")?,
@@ -1024,18 +1061,20 @@ mod tests {
     #[test]
     fn request_round_trips() {
         let reqs = [
-            Request::Hello { version: 1 },
+            Request::Hello { version: 2 },
             Request::Observe {
                 user: 42,
                 hour: 17,
                 harvest_j: 1.2345678901234567,
                 activity: Some(0.5),
+                seq: Some(u64::from(u32::MAX) + 7),
             },
             Request::Observe {
                 user: 0,
                 hour: 0,
                 harvest_j: 0.0,
                 activity: None,
+                seq: None,
             },
             Request::Decide { user: u32::MAX },
             Request::Stats,
@@ -1061,7 +1100,7 @@ mod tests {
     fn response_round_trips() {
         let resps = [
             Response::Welcome {
-                version: 1,
+                version: 2,
                 users: 2000,
             },
             Response::Observed {
@@ -1106,6 +1145,8 @@ mod tests {
                     decides: 9,
                     checkpoints: 0,
                     restores: 0,
+                    evicted: 2,
+                    shed: 5,
                     observe_p50_us: 1.5,
                     observe_p99_us: 12.0,
                     decide_p50_us: 0.5,
@@ -1148,6 +1189,9 @@ mod tests {
             "{\"type\":\"observe\",\"user\":1}",
             "{\"type\":\"observe\",\"user\":-1,\"hour\":0,\"harvest_j\":1}",
             "{\"type\":\"observe\",\"user\":1.5,\"hour\":0,\"harvest_j\":1}",
+            "{\"type\":\"observe\",\"user\":1,\"hour\":0,\"harvest_j\":1,\"seq\":-1}",
+            "{\"type\":\"observe\",\"user\":1,\"hour\":0,\"harvest_j\":1,\"seq\":1.5}",
+            "{\"type\":\"observe\",\"user\":1,\"hour\":0,\"harvest_j\":1,\"seq\":\"x\"}",
             "{\"type\":\"decide\",\"user\":\"three\"}",
             "{\"type\":\"hello\",\"version\":1} trailing",
             "{\"type\":\"checkpoint\",\"path\":7}",

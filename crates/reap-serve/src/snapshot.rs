@@ -12,7 +12,7 @@
 //! digest       u64       FNV-1a over the records region
 //! ```
 //!
-//! Each per-user record is fixed-size (252 bytes):
+//! Each per-user record is fixed-size (268 bytes):
 //!
 //! ```text
 //! flags        u32       bit 0: allocator first_call_done
@@ -24,6 +24,8 @@
 //! harvested_j  f64       running sum
 //! budget_j     f64       running sum
 //! activity     f64       running sum
+//! last_seq     u64       newest observe sequence number applied; 0 = none
+//! last_budget  f64       budget granted at last_seq (replayed on dup)
 //! estimates    24 × f64  DiurnalEwma per-slot estimates (exact bits)
 //! ```
 //!
@@ -35,20 +37,25 @@
 //! state built from a different fleet (different seed, size, points, or
 //! sources) is refused rather than silently misapplied.
 
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
 use reap_harvest::{DiurnalEwma, EwmaAllocator};
 use reap_units::Energy;
 
+use crate::fault::{CrashPoint, IoLayer, NoFaults};
 use crate::protocol::{ErrorCode, ProtocolError};
 use crate::state::{FleetState, Fnv, UserState, NO_HOUR};
 
-/// Snapshot format version; bumped on any layout change.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Snapshot format version; bumped on any layout change (v2 added the
+/// observe-replay fields `last_seq`/`last_budget`).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// The 8-byte magic opening every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"REAPSNAP";
 
 /// Fixed size of one per-user record.
-pub(crate) const RECORD_BYTES: usize = 4 + 4 + 4 + 8 + 5 * 8 + 24 * 8;
+pub(crate) const RECORD_BYTES: usize = 4 + 4 + 4 + 8 + 5 * 8 + 8 + 8 + 24 * 8;
 
 const HEADER_BYTES: usize = 8 + 4 + 8 + 8 + 4;
 
@@ -73,6 +80,8 @@ pub(crate) fn user_record(state: &UserState) -> [u8; RECORD_BYTES] {
     put(&state.harvested_j.to_le_bytes());
     put(&state.budget_j.to_le_bytes());
     put(&state.activity.to_le_bytes());
+    put(&state.last_seq.to_le_bytes());
+    put(&state.last_budget.to_le_bytes());
     for e in estimates {
         put(&e.to_le_bytes());
     }
@@ -231,6 +240,8 @@ pub fn restore(state: &FleetState, bytes: &[u8]) -> Result<u32, ProtocolError> {
         u.harvested_j = d.harvested_j;
         u.budget_j = d.budget_j;
         u.activity = d.activity;
+        u.last_seq = d.last_seq;
+        u.last_budget = d.last_budget;
     });
     Ok(users)
 }
@@ -244,6 +255,8 @@ struct DecodedUser {
     harvested_j: f64,
     budget_j: f64,
     activity: f64,
+    last_seq: u64,
+    last_budget: f64,
 }
 
 fn decode_record(
@@ -270,6 +283,11 @@ fn decode_record(
     let harvested_j = r.f64()?;
     let budget_j = r.f64()?;
     let activity = r.f64()?;
+    let last_seq = r.u64()?;
+    let last_budget = r.f64()?;
+    if !last_budget.is_finite() {
+        return Err(bad("non-finite last_budget"));
+    }
     if !vbat_level.is_finite() || !(0.0..=60.0).contains(&vbat_level) {
         return Err(bad("battery level outside [0, capacity]"));
     }
@@ -305,7 +323,257 @@ fn decode_record(
         harvested_j,
         budget_j,
         activity,
+        last_seq,
+        last_budget,
     })
+}
+
+// ---------------------------------------------------------------------
+// Crash-safe persistence: atomic writes and the retained snapshot ring
+// ---------------------------------------------------------------------
+
+/// Fsyncs a directory so a rename inside it is durable. No-op off unix
+/// (directory handles are not fsyncable portably).
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        std::fs::File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+/// The parent directory of `path`, defaulting to `.` for bare filenames.
+fn parent_dir(path: &Path) -> &Path {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    }
+}
+
+/// Writes `bytes` to `path` crash-safely: write to `<path>.tmp`, fsync,
+/// atomically rename over `path`, then fsync the parent directory so the
+/// rename itself is durable. A crash at any point leaves either the old
+/// `path` contents (plus possibly a torn `.tmp`, which [`restore`] would
+/// refuse anyway) or the complete new contents — never a torn `path`.
+///
+/// # Errors
+///
+/// Any I/O failure along the way; on error the final `path` is untouched.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    write_atomic_with(path, bytes, &NoFaults).map(|_| ())
+}
+
+/// [`write_atomic`] with an [`IoLayer`] crash hook consulted at every
+/// [`CrashPoint`]. Returns `Ok(true)` when the write completed, and
+/// `Ok(false)` when the layer "killed" the writer mid-flight — the
+/// filesystem is then left exactly as a real crash at that point would
+/// leave it (that's what the kill-at-every-crash-point test exercises).
+///
+/// # Errors
+///
+/// Any genuine I/O failure along the way.
+pub fn write_atomic_with<L: IoLayer>(path: &Path, bytes: &[u8], layer: &L) -> io::Result<bool> {
+    let Some(name) = path.file_name() else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("snapshot path {path:?} has no file name"),
+        ));
+    };
+    let mut tmp_name = name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+
+    let mut file = std::fs::File::create(&tmp)?;
+    if layer.crash_at(CrashPoint::TempCreated) {
+        return Ok(false);
+    }
+    let half = bytes.len() / 2;
+    file.write_all(&bytes[..half])?;
+    if layer.crash_at(CrashPoint::TempHalfWritten) {
+        return Ok(false);
+    }
+    file.write_all(&bytes[half..])?;
+    if layer.crash_at(CrashPoint::TempWritten) {
+        return Ok(false);
+    }
+    file.sync_all()?;
+    if layer.crash_at(CrashPoint::TempSynced) {
+        return Ok(false);
+    }
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    if layer.crash_at(CrashPoint::Renamed) {
+        return Ok(false);
+    }
+    fsync_dir(parent_dir(path))?;
+    Ok(true)
+}
+
+/// A retained ring of the last `keep` snapshots in one directory.
+///
+/// Files are named `ckpt-<seq>.reapsnap` with a monotonically increasing
+/// sequence number; every write goes through [`write_atomic`] and then
+/// prunes beyond the retention count. [`SnapshotRing::recover`] scans
+/// newest-first for the first snapshot whose digest (and fingerprint,
+/// version, …) validates, so recovery after any crash lands on the last
+/// durable checkpoint — torn temp files and corrupt rings degrade to the
+/// next-older snapshot instead of failing.
+#[derive(Debug, Clone)]
+pub struct SnapshotRing {
+    dir: PathBuf,
+    keep: usize,
+}
+
+/// What [`SnapshotRing::recover`] restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// The snapshot file that validated and was restored.
+    pub path: PathBuf,
+    /// Its ring sequence number.
+    pub seq: u64,
+    /// Users restored from it.
+    pub users: u32,
+    /// Newer ring files that failed validation and were skipped.
+    pub skipped: usize,
+}
+
+impl SnapshotRing {
+    /// Opens (creating if needed) a ring directory retaining the last
+    /// `keep` snapshots (`keep` is clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn create(dir: impl Into<PathBuf>, keep: usize) -> io::Result<SnapshotRing> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SnapshotRing {
+            dir,
+            keep: keep.max(1),
+        })
+    }
+
+    /// The ring directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Parses a ring filename back to its sequence number.
+    fn parse_seq(name: &str) -> Option<u64> {
+        name.strip_prefix("ckpt-")?
+            .strip_suffix(".reapsnap")?
+            .parse()
+            .ok()
+    }
+
+    fn file_for(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{seq:010}.reapsnap"))
+    }
+
+    /// Ring entries as `(seq, path)`, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read failures.
+    pub fn entries(&self) -> io::Result<Vec<(u64, PathBuf)>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(seq) = entry.file_name().to_str().and_then(Self::parse_seq) {
+                out.push((seq, entry.path()));
+            }
+        }
+        out.sort_unstable_by_key(|(seq, _)| *seq);
+        Ok(out)
+    }
+
+    /// Snapshots `state` into the next ring slot ([`write_atomic`] under
+    /// the hood), then prunes snapshots beyond the retention count and
+    /// any stale temp files. Returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (the ring is unchanged on error).
+    pub fn write(&self, state: &FleetState) -> io::Result<PathBuf> {
+        Ok(self
+            .write_with(state, &NoFaults)?
+            .expect("NoFaults never crashes the writer"))
+    }
+
+    /// [`SnapshotRing::write`] with a crash hook; `Ok(None)` means the
+    /// layer killed the writer mid-checkpoint (no pruning happens then —
+    /// a real crash wouldn't prune either).
+    ///
+    /// # Errors
+    ///
+    /// Propagates genuine I/O failures.
+    pub fn write_with<L: IoLayer>(
+        &self,
+        state: &FleetState,
+        layer: &L,
+    ) -> io::Result<Option<PathBuf>> {
+        let next = self.entries()?.last().map_or(0, |(seq, _)| seq + 1);
+        let path = self.file_for(next);
+        if !write_atomic_with(&path, &snapshot(state), layer)? {
+            return Ok(None);
+        }
+        self.prune()?;
+        Ok(Some(path))
+    }
+
+    /// Removes snapshots beyond the retention count, plus stale `.tmp`
+    /// leftovers from crashed writers.
+    fn prune(&self) -> io::Result<()> {
+        let entries = self.entries()?;
+        if entries.len() > self.keep {
+            for (_, path) in &entries[..entries.len() - self.keep] {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().ends_with(".tmp") {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        Ok(())
+    }
+
+    /// Scans the ring newest-first and restores `state` from the first
+    /// snapshot that fully validates (magic, version, fingerprint,
+    /// digest — via [`restore`], which never mutates on failure).
+    /// `Ok(None)` means the ring holds no snapshot this state accepts;
+    /// unreadable or torn files are skipped, not fatal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read failures only.
+    pub fn recover(&self, state: &FleetState) -> io::Result<Option<Recovery>> {
+        let mut skipped = 0usize;
+        for (seq, path) in self.entries()?.into_iter().rev() {
+            let Ok(bytes) = std::fs::read(&path) else {
+                skipped += 1;
+                continue;
+            };
+            match restore(state, &bytes) {
+                Ok(users) => {
+                    return Ok(Some(Recovery {
+                        path,
+                        seq,
+                        users,
+                        skipped,
+                    }));
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        Ok(None)
+    }
 }
 
 #[cfg(test)]
@@ -401,8 +669,161 @@ mod tests {
 
     #[test]
     fn record_size_matches_layout() {
-        assert_eq!(RECORD_BYTES, 252);
+        assert_eq!(RECORD_BYTES, 268);
         let state = warmed(1, 3, 2);
-        assert_eq!(snapshot(&state).len(), 8 + 4 + 8 + 8 + 4 + 252 + 8);
+        assert_eq!(snapshot(&state).len(), 8 + 4 + 8 + 8 + 4 + 268 + 8);
+    }
+
+    #[test]
+    fn seq_state_survives_the_round_trip() {
+        let state = warmed(3, 11, 5);
+        // Stamp a sequence-numbered observe, then snapshot.
+        let granted = state.observe_seq(1, 5, 0.8, None, Some(42)).unwrap();
+        let bytes = snapshot(&state);
+        let fresh = FleetState::new(&fleet(3, 11), 2).unwrap();
+        restore(&fresh, &bytes).unwrap();
+        // Replaying the same seq on the restored state returns the cached
+        // budget without reapplying.
+        let obs_before = fresh.fleet_stats().observations;
+        let replayed = fresh.observe_seq(1, 5, 0.8, None, Some(42)).unwrap();
+        assert_eq!(replayed.to_bits(), granted.to_bits());
+        assert_eq!(fresh.fleet_stats().observations, obs_before);
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("reap-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.reapsnap");
+        let state = warmed(2, 5, 4);
+        write_atomic(&path, &snapshot(&state)).unwrap();
+        let fresh = FleetState::new(&fleet(2, 5), 1).unwrap();
+        restore(&fresh, &std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(fresh.fleet_stats(), state.fleet_stats());
+        // Overwriting in place is just as atomic.
+        let _ = state.observe(0, 9, 1.0, None);
+        write_atomic(&path, &snapshot(&state)).unwrap();
+        let fresh2 = FleetState::new(&fleet(2, 5), 1).unwrap();
+        restore(&fresh2, &std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(fresh2.fleet_stats(), state.fleet_stats());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ring_retains_newest_and_prunes() {
+        let dir = std::env::temp_dir().join(format!("reap-ring-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ring = SnapshotRing::create(&dir, 3).unwrap();
+        let state = warmed(2, 8, 2);
+        for h in 0..5u32 {
+            let _ = state.observe(0, h, 0.5, None);
+            ring.write(&state).unwrap();
+        }
+        let entries = ring.entries().unwrap();
+        assert_eq!(entries.len(), 3, "ring prunes to the retention count");
+        assert_eq!(
+            entries.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        // Recovery restores the newest snapshot (the current state).
+        let fresh = FleetState::new(&fleet(2, 8), 1).unwrap();
+        let rec = ring.recover(&fresh).unwrap().unwrap();
+        assert_eq!(rec.seq, 4);
+        assert_eq!(rec.skipped, 0);
+        assert_eq!(fresh.fleet_stats(), state.fleet_stats());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ring_recovery_skips_corrupt_newest() {
+        let dir = std::env::temp_dir().join(format!("reap-ring-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ring = SnapshotRing::create(&dir, 4).unwrap();
+        let state = warmed(2, 13, 3);
+        ring.write(&state).unwrap();
+        let stats_durable = state.fleet_stats();
+        let _ = state.observe(1, 7, 2.0, None);
+        let newest = ring.write(&state).unwrap();
+        // Simulate a power-loss torn write: truncate the newest file.
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        let fresh = FleetState::new(&fleet(2, 13), 1).unwrap();
+        let rec = ring.recover(&fresh).unwrap().unwrap();
+        assert_eq!(rec.skipped, 1, "torn newest snapshot was skipped");
+        assert_eq!(fresh.fleet_stats(), stats_durable);
+        // An empty or all-corrupt ring recovers to None, state untouched.
+        let empty = SnapshotRing::create(dir.join("empty"), 2).unwrap();
+        let blank = FleetState::new(&fleet(2, 13), 1).unwrap();
+        assert!(empty.recover(&blank).unwrap().is_none());
+        assert_eq!(blank.fleet_stats().observations, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killing_the_writer_at_every_crash_point_never_loses_durable_state() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        use std::sync::Arc;
+
+        for point in CrashPoint::ALL {
+            let dir =
+                std::env::temp_dir().join(format!("reap-crash-{:?}-{}", point, std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let ring = SnapshotRing::create(&dir, 4).unwrap();
+            let state = warmed(3, 17, 6);
+
+            // Checkpoint A completes normally: the durable baseline.
+            ring.write(&state).unwrap();
+            let stats_durable = state.fleet_stats();
+
+            // More work arrives, then checkpoint B dies at `point`.
+            for h in 6..10u32 {
+                for u in 0..3u32 {
+                    let _ = state.observe(u, h, 0.9, None);
+                }
+            }
+            let stats_new = state.fleet_stats();
+            let killer: Arc<FaultPlan> = Arc::new(FaultPlan::new(
+                0,
+                FaultConfig {
+                    crash_at: Some(point),
+                    ..FaultConfig::default()
+                },
+            ));
+            assert_eq!(
+                ring.write_with(&state, &killer).unwrap(),
+                None,
+                "{point:?}: the writer must report the injected crash"
+            );
+
+            // Recovery must land on a digest-valid snapshot: the new one
+            // iff the rename completed, else the durable baseline —
+            // never a torn file, never an error.
+            let fresh = FleetState::new(&fleet(3, 17), 2).unwrap();
+            let rec = ring
+                .recover(&fresh)
+                .unwrap()
+                .unwrap_or_else(|| panic!("{point:?}: recovery found no valid snapshot"));
+            let recovered = fresh.fleet_stats();
+            if point.new_snapshot_visible() {
+                assert_eq!(recovered, stats_new, "{point:?}");
+                assert_eq!(rec.skipped, 0, "{point:?}");
+            } else {
+                assert_eq!(recovered, stats_durable, "{point:?}");
+            }
+            // A later checkpoint heals the ring (stale temp pruned).
+            ring.write(&state).unwrap();
+            let healed = FleetState::new(&fleet(3, 17), 2).unwrap();
+            ring.recover(&healed).unwrap().unwrap();
+            assert_eq!(healed.fleet_stats(), stats_new, "{point:?}");
+            assert!(
+                std::fs::read_dir(&dir).unwrap().all(|e| !e
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".tmp")),
+                "{point:?}: prune removed the torn temp file"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 }

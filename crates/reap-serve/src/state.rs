@@ -59,6 +59,12 @@ pub(crate) struct UserState {
     pub budget_j: f64,
     /// Running sum of reported activity intensities.
     pub activity: f64,
+    /// Newest observe sequence number applied for this user; `0` = none
+    /// (client sequence numbers start at 1).
+    pub last_seq: u64,
+    /// Budget granted at `last_seq`, replayed verbatim when a retrying
+    /// client resends the same sequence number.
+    pub last_budget: f64,
     /// Cohort index into the shared frontier tables.
     pub cohort: u32,
 }
@@ -160,6 +166,8 @@ impl FleetState {
                 harvested_j: 0.0,
                 budget_j: 0.0,
                 activity: 0.0,
+                last_seq: 0,
+                last_budget: 0.0,
                 cohort,
             });
         }
@@ -241,6 +249,29 @@ impl FleetState {
         harvest_j: f64,
         activity: Option<f64>,
     ) -> Result<f64, ProtocolError> {
+        self.observe_seq(user, hour, harvest_j, activity, None)
+    }
+
+    /// [`FleetState::observe`] with an optional client sequence number
+    /// making the request idempotent: resending the user's newest applied
+    /// sequence number replays the cached budget without touching state
+    /// (the retrying client's at-most-once guarantee), while an older
+    /// number is refused as stale. Sequence numbers start at 1 and must
+    /// be strictly increasing per user.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`FleetState::observe`] rejects, plus
+    /// [`ErrorCode::BadRequest`] for `seq == 0` or a stale (already
+    /// superseded) sequence number.
+    pub fn observe_seq(
+        &self,
+        user: u32,
+        hour: u32,
+        harvest_j: f64,
+        activity: Option<f64>,
+        seq: Option<u64>,
+    ) -> Result<f64, ProtocolError> {
         if !harvest_j.is_finite() || harvest_j < 0.0 {
             return Err(ProtocolError::new(
                 ErrorCode::BadRequest,
@@ -255,8 +286,27 @@ impl FleetState {
                 ));
             }
         }
+        if seq == Some(0) {
+            return Err(ProtocolError::new(
+                ErrorCode::BadRequest,
+                "seq 0 is reserved (sequence numbers start at 1)",
+            ));
+        }
         let hour = hour % 24;
         self.with_user(user, |state, tables| {
+            if let Some(s) = seq {
+                if s == state.last_seq {
+                    // Duplicate delivery of the newest observe: replay
+                    // the cached grant, apply nothing.
+                    return Ok(state.last_budget);
+                }
+                if s < state.last_seq {
+                    return Err(ProtocolError::new(
+                        ErrorCode::BadRequest,
+                        format!("stale seq {s} (newest applied is {})", state.last_seq),
+                    ));
+                }
+            }
             let floor = Energy::from_joules(tables[state.cohort as usize].min_budget_j());
             let harvested = Energy::from_joules(harvest_j);
             let proposed = state.alloc.allocate(hour, state.last_harvest, &state.vbat);
@@ -270,8 +320,12 @@ impl FleetState {
             state.harvested_j += harvest_j;
             state.budget_j += budget.joules();
             state.activity += activity.unwrap_or(0.0);
-            budget.joules()
-        })
+            if let Some(s) = seq {
+                state.last_seq = s;
+                state.last_budget = budget.joules();
+            }
+            Ok(budget.joules())
+        })?
     }
 
     /// Serves an allocation decision for `user`'s upcoming hour from the
@@ -488,6 +542,45 @@ mod tests {
         );
         // Nothing was absorbed by the rejected requests.
         assert_eq!(state.fleet_stats().observations, 0);
+    }
+
+    #[test]
+    fn seq_observes_are_idempotent() {
+        let fleet = tiny_fleet(2);
+        let state = FleetState::new(&fleet, 1).unwrap();
+        let a = state.observe_seq(0, 0, 1.5, Some(0.2), Some(1)).unwrap();
+        let stats_after = state.fleet_stats();
+        // Duplicate delivery: same grant, zero state change.
+        for _ in 0..3 {
+            let dup = state.observe_seq(0, 0, 1.5, Some(0.2), Some(1)).unwrap();
+            assert_eq!(dup.to_bits(), a.to_bits());
+            assert_eq!(state.fleet_stats(), stats_after);
+        }
+        // The next sequence number applies normally.
+        let b = state.observe_seq(0, 1, 0.8, None, Some(2)).unwrap();
+        assert_ne!(state.fleet_stats(), stats_after);
+        let dup = state.observe_seq(0, 1, 0.8, None, Some(2)).unwrap();
+        assert_eq!(dup.to_bits(), b.to_bits());
+        // Stale and reserved sequence numbers are refused.
+        assert_eq!(
+            state
+                .observe_seq(0, 2, 0.1, None, Some(1))
+                .unwrap_err()
+                .code,
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            state
+                .observe_seq(0, 2, 0.1, None, Some(0))
+                .unwrap_err()
+                .code,
+            ErrorCode::BadRequest
+        );
+        // Per-user isolation: user 1 has its own sequence space.
+        state.observe_seq(1, 0, 0.4, None, Some(7)).unwrap();
+        // Seq-less observes interleave freely (and never cache).
+        let plain = state.observe(0, 2, 0.5, None).unwrap();
+        assert!(plain.is_finite());
     }
 
     #[test]

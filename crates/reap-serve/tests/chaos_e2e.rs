@@ -1,0 +1,281 @@
+//! Chaos end-to-end: the serving stack under seeded fault injection and
+//! a real SIGKILL/restart cycle.
+//!
+//! Part 1 runs the loopback workload against an in-process server whose
+//! every connection is wrapped in a seeded [`FaultPlan`] — delayed and
+//! short reads, partial writes, injected I/O errors, and mid-frame
+//! connection resets — and requires the [`RetryClient`] to complete 100%
+//! of its idempotent workload with zero observable errors and zero
+//! double-counted observes (seq dedup makes retried observes exact).
+//!
+//! Part 2 runs the real `reap-serve` binary with a periodic snapshot
+//! ring, SIGKILLs it mid-workload, recovers the newest digest-valid
+//! snapshot locally to compute the expected durable state, restarts the
+//! binary with `--resume`, pins the restored fleet stats bit-identical
+//! to that durable checkpoint, and has the *same* retrying client (seq
+//! numbering intact across the restart) finish its workload with zero
+//! observable errors.
+//!
+//! Seeds come from `CHAOS_SEEDS` (comma-separated, default `11`); CI
+//! runs a small fixed matrix.
+
+use std::sync::Arc;
+
+use reap_serve::{
+    FaultConfig, FaultPlan, FleetState, Request, Response, RetryClient, RetryConfig, Server,
+    ServerConfig,
+};
+use reap_sim::Fleet;
+
+fn seeds() -> Vec<u64> {
+    std::env::var("CHAOS_SEEDS")
+        .unwrap_or_else(|_| "11".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+fn state(users: u32, seed: u64) -> FleetState {
+    let fleet = Fleet::builder(reap_device::paper_table2_operating_points())
+        .users(users)
+        .days(1)
+        .seed(seed)
+        .build()
+        .expect("valid fleet");
+    FleetState::new(&fleet, 4).expect("state builds")
+}
+
+#[test]
+fn retry_client_completes_workload_under_server_side_faults() {
+    let users = 12u32;
+    let hours = 8u32;
+    for seed in seeds() {
+        let cfg = FaultConfig {
+            delay_every: 37,
+            delay_ms: 1,
+            short_read_every: 97,
+            partial_write_every: 131,
+            error_every: 151,
+            reset_every: 173,
+            ..FaultConfig::default()
+        };
+        let plan = Arc::new(FaultPlan::new(seed, cfg));
+        let server = Server::bind_with_layer(
+            "127.0.0.1:0",
+            state(users, seed),
+            ServerConfig::default(),
+            Arc::clone(&plan),
+        )
+        .expect("bind port 0");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let serving = std::thread::spawn(move || server.serve());
+
+        let mut client = RetryClient::connect(
+            addr,
+            RetryConfig {
+                seed,
+                ..RetryConfig::default()
+            },
+        )
+        .expect("connect through chaos");
+        assert_eq!(client.users(), users);
+
+        // 100% of the idempotent workload must complete: every observe
+        // acked exactly once, every decide answered.
+        for hour in 0..hours {
+            for user in 0..users {
+                let harvest = f64::from((user * 7 + hour) % 6) * 0.45;
+                let budget = client
+                    .observe(user, hour, harvest, Some(0.125))
+                    .unwrap_or_else(|e| panic!("seed {seed}: observe({user},{hour}): {e}"));
+                assert!(budget.is_finite() && budget >= 0.0);
+            }
+        }
+        for user in 0..users {
+            match client
+                .decide(user)
+                .unwrap_or_else(|e| panic!("seed {seed}: decide({user}): {e}"))
+            {
+                Response::Decision { user: u, .. } => assert_eq!(u, user),
+                other => panic!("seed {seed}: unexpected decide reply: {other:?}"),
+            }
+        }
+
+        let (fleet, _server_stats) = client.stats().expect("stats through chaos");
+        assert_eq!(
+            fleet.observations,
+            u64::from(users) * u64::from(hours),
+            "seed {seed}: retried observes must deduplicate exactly \
+             ({} retries, {} reconnects)",
+            client.retries(),
+            client.reconnects()
+        );
+        assert!(
+            plan.injected() > 0,
+            "seed {seed}: the fault plan never fired — chaos test is vacuous"
+        );
+
+        handle.shutdown();
+        serving.join().expect("server thread").expect("clean exit");
+    }
+}
+
+mod subprocess {
+    use std::io::{BufRead, BufReader};
+    use std::net::SocketAddr;
+    use std::path::{Path, PathBuf};
+    use std::process::{Child, ChildStdout, Command, Stdio};
+
+    use super::*;
+    use reap_serve::SnapshotRing;
+
+    const USERS: u32 = 16;
+    const FLEET_SEED: u64 = 9;
+    const RING_KEEP: usize = 4;
+
+    fn spawn_server(ring: &Path, resume: bool) -> (Child, SocketAddr, BufReader<ChildStdout>) {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_reap-serve"));
+        cmd.args([
+            "--addr",
+            "127.0.0.1:0",
+            "--users",
+            &USERS.to_string(),
+            "--seed",
+            &FLEET_SEED.to_string(),
+            "--shards",
+            "4",
+            "--source",
+            "outdoor-solar",
+            "--checkpoint-ring",
+        ])
+        .arg(ring)
+        .args([
+            "--ring-keep",
+            &RING_KEEP.to_string(),
+            "--checkpoint-every-ms",
+            "25",
+        ]);
+        if resume {
+            cmd.arg("--resume");
+        }
+        let mut child = cmd
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn reap-serve binary");
+        let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let mut line = String::new();
+        let addr = loop {
+            line.clear();
+            let n = stdout.read_line(&mut line).expect("read server stdout");
+            assert_ne!(n, 0, "server exited before announcing its address");
+            if let Some(rest) = line.trim_end().split("listening on ").nth(1) {
+                break rest.parse().expect("parseable listen address");
+            }
+            if resume {
+                assert!(
+                    !line.contains("starting fresh"),
+                    "--resume found no usable snapshot: {line}"
+                );
+            }
+        };
+        (child, addr, stdout)
+    }
+
+    /// The fleet the binary builds for these flags, rebuilt in-process so
+    /// the test can recover the ring locally and know the expected stats.
+    fn local_state() -> FleetState {
+        let fleet = Fleet::builder(reap_device::paper_table2_operating_points())
+            .users(USERS)
+            .seed(FLEET_SEED)
+            .sources(vec![reap_harvest::SourceKind::OutdoorSolar])
+            .build()
+            .expect("valid fleet");
+        FleetState::new(&fleet, 4).expect("state builds")
+    }
+
+    fn temp_ring() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("reap_chaos_ring_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn sigkill_and_ring_resume_restore_the_last_durable_checkpoint() {
+        let ring_dir = temp_ring();
+        let (mut child, addr, _stdout) = spawn_server(&ring_dir, false);
+
+        let mut client = RetryClient::connect(addr, RetryConfig::default()).expect("connect");
+        assert_eq!(client.users(), USERS);
+
+        // Phase 1 of the workload, then let the 25 ms checkpoint cadence
+        // cut several durable snapshots of the quiesced state.
+        for hour in 0..6u32 {
+            for user in 0..USERS {
+                let harvest = f64::from((user * 5 + hour) % 7) * 0.4;
+                client
+                    .observe(user, hour, harvest, Some(0.1))
+                    .expect("phase-1 observe");
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(150));
+
+        // SIGKILL: no drain, no exit checkpoint, workload incomplete.
+        child.kill().expect("SIGKILL server");
+        child.wait().expect("reap killed server");
+
+        // Recover the ring locally: the newest digest-valid snapshot is
+        // the expected durable state. The post-quiesce checkpoints cover
+        // all of phase 1.
+        let expected_state = local_state();
+        let recovery = SnapshotRing::create(&ring_dir, RING_KEEP)
+            .expect("open ring")
+            .recover(&expected_state)
+            .expect("scan ring")
+            .expect("at least one durable snapshot");
+        assert_eq!(recovery.users, USERS);
+        let expected = expected_state.fleet_stats();
+        assert_eq!(
+            expected.observations,
+            u64::from(USERS) * 6,
+            "durable checkpoint should cover the whole quiesced phase 1"
+        );
+
+        // Restart from the ring; the same client follows the server to
+        // its new port with its seq numbering intact.
+        let (mut child, addr, _stdout) = spawn_server(&ring_dir, true);
+        client.reconnect_to(addr).expect("retarget client");
+
+        // Restored stats are bit-identical to the last durable
+        // checkpoint: every f64, the digest, and the wire encoding.
+        let (restored, _server_stats) = client.stats().expect("stats after resume");
+        assert_eq!(restored, expected);
+        assert_eq!(restored.encode(), expected.encode());
+
+        // Phase 2 completes on the restored state: zero observable
+        // errors, every observe applied exactly once.
+        for hour in 6..12u32 {
+            for user in 0..USERS {
+                let harvest = f64::from((user * 5 + hour) % 7) * 0.4;
+                client
+                    .observe(user, hour, harvest, Some(0.1))
+                    .expect("phase-2 observe");
+            }
+        }
+        let (fin, _server_stats) = client.stats().expect("final stats");
+        assert_eq!(
+            fin.observations,
+            expected.observations + u64::from(USERS) * 6
+        );
+
+        match client.request_once(&Request::Shutdown).expect("shutdown") {
+            Response::ShuttingDown => {}
+            other => panic!("unexpected shutdown reply: {other:?}"),
+        }
+        let status = child.wait().expect("server exits");
+        assert!(status.success(), "graceful exit after resume: {status}");
+
+        std::fs::remove_dir_all(&ring_dir).ok();
+    }
+}

@@ -40,13 +40,15 @@ fn arb_request() -> impl Strategy<Value = Request> {
             0u32..5000,
             0u32..48,
             arb_f64(),
-            prop_oneof![Just(None), arb_f64().prop_map(Some)]
+            prop_oneof![Just(None), arb_f64().prop_map(Some)],
+            prop_oneof![Just(None), (1u64..1 << 50).prop_map(Some)]
         )
-            .prop_map(|(user, hour, harvest_j, activity)| Request::Observe {
+            .prop_map(|(user, hour, harvest_j, activity, seq)| Request::Observe {
                 user,
                 hour,
                 harvest_j: harvest_j.abs(),
                 activity,
+                seq,
             }),
         (0u32..5000).prop_map(|user| Request::Decide { user }),
         Just(Request::Stats),
@@ -76,6 +78,8 @@ fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
         ErrorCode::UnknownUser,
         ErrorCode::Snapshot,
         ErrorCode::Internal,
+        ErrorCode::Overloaded,
+        ErrorCode::Evicted,
     ])
 }
 
@@ -137,6 +141,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     decides: d.1,
                     checkpoints: d.3,
                     restores: d.2,
+                    evicted: d.3,
+                    shed: d.2,
                     observe_p50_us: e.0,
                     observe_p99_us: e.1,
                     decide_p50_us: e.2,

@@ -59,6 +59,7 @@ fn stream(client: &mut Client, users: u32, hours: std::ops::Range<u32>) -> f64 {
                     hour: h,
                     harvest_j: harvest,
                     activity: Some(0.125),
+                    seq: None,
                 })
                 .expect("observe")
             {
@@ -196,6 +197,7 @@ fn malformed_lines_get_error_frames_and_session_survives() {
             hour: 0,
             harvest_j: 1.0,
             activity: None,
+            seq: None,
         })
         .expect("observe")
     {
@@ -211,7 +213,7 @@ fn malformed_lines_get_error_frames_and_session_survives() {
 fn oversized_lines_are_rejected_and_connection_closes() {
     let srv = start(2, 1, ServerConfig::default());
     let mut s = TcpStream::connect(srv.addr).expect("connect");
-    s.write_all(b"{\"type\":\"hello\",\"version\":1}\n")
+    s.write_all(b"{\"type\":\"hello\",\"version\":2}\n")
         .unwrap();
     let mut reader = BufReader::new(s.try_clone().unwrap());
     let mut line = String::new();
@@ -256,6 +258,7 @@ fn concurrent_clients_observe_disjoint_users() {
                                 hour: h,
                                 harvest_j: 0.5,
                                 activity: None,
+                                seq: None,
                             })
                             .expect("observe")
                         {
@@ -290,8 +293,8 @@ fn killed_and_restored_server_reports_bit_identical_stats() {
         users,
         seed,
         ServerConfig {
-            max_connections: 0,
             checkpoint_on_exit: Some(ckpt.clone()),
+            ..ServerConfig::default()
         },
     );
     let mut client = Client::connect(a.addr).expect("connect A");
@@ -386,4 +389,194 @@ fn checkpoint_request_round_trips_through_a_fresh_server() {
         srv.thread.join().unwrap().unwrap();
     }
     std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn oversized_complete_line_is_rejected_with_a_typed_frame() {
+    // Unlike the newline-free blob above, this frame is *complete* — the
+    // newline arrives in the same write — so it exercises the cap check
+    // on split-off lines, not the accumulation cap.
+    let srv = start(2, 1, ServerConfig::default());
+    let mut s = TcpStream::connect(srv.addr).expect("connect");
+    s.write_all(b"{\"type\":\"hello\",\"version\":2}\n")
+        .unwrap();
+    let mut reader = BufReader::new(s.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(matches!(
+        Response::decode(line.trim_end()).unwrap(),
+        Response::Welcome { .. }
+    ));
+
+    let mut blob = vec![b'x'; MAX_LINE_BYTES + 1024];
+    blob.push(b'\n');
+    s.write_all(&blob).unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    match Response::decode(line.trim_end()).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Oversized),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server kept talking after oversized frame");
+
+    srv.handle.shutdown();
+    srv.thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn slow_loris_client_is_evicted_mid_frame_but_idle_clients_are_not() {
+    let srv = start(
+        2,
+        1,
+        ServerConfig {
+            frame_deadline: Some(std::time::Duration::from_millis(300)),
+            ..ServerConfig::default()
+        },
+    );
+
+    // An idle (between-frames) client comfortably outlives the deadline.
+    let mut idle = Client::connect(srv.addr).expect("connect idle");
+    std::thread::sleep(std::time::Duration::from_millis(700));
+
+    // The slow-loris client starts a frame and stalls mid-line.
+    let mut loris = TcpStream::connect(srv.addr).expect("connect loris");
+    loris
+        .write_all(b"{\"type\":\"hello\",\"version\":2}\n")
+        .unwrap();
+    let mut reader = BufReader::new(loris.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(matches!(
+        Response::decode(line.trim_end()).unwrap(),
+        Response::Welcome { .. }
+    ));
+    loris.write_all(b"{\"type\":\"sta").unwrap(); // ...and never finishes
+    line.clear();
+    reader.read_line(&mut line).expect("eviction frame");
+    match Response::decode(line.trim_end()).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Evicted),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server kept talking after eviction");
+
+    // The idle client still works, and the eviction is counted.
+    match idle.request(&Request::Stats).expect("stats") {
+        Response::Stats { server, .. } => assert_eq!(server.evicted, 1),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    srv.handle.shutdown();
+    srv.thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn overload_sheds_observes_but_keeps_decide_and_stats_live() {
+    let srv = start(
+        4,
+        1,
+        ServerConfig {
+            overload_shed_at: 1,
+            ..ServerConfig::default()
+        },
+    );
+    // Two live connections > threshold of 1: overload mode.
+    let _ballast = Client::connect(srv.addr).expect("connect ballast");
+    let mut client = Client::connect(srv.addr).expect("connect");
+
+    match client
+        .request(&Request::Observe {
+            user: 0,
+            hour: 0,
+            harvest_j: 1.0,
+            activity: None,
+            seq: None,
+        })
+        .expect("reply")
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Overloaded),
+        other => panic!("observe should be shed, got {other:?}"),
+    }
+    match client.request(&Request::Decide { user: 0 }).expect("reply") {
+        Response::Decision { .. } => {}
+        other => panic!("decide must stay live under overload, got {other:?}"),
+    }
+    match client.request(&Request::Stats).expect("stats") {
+        Response::Stats { fleet, server } => {
+            assert_eq!(server.shed, 1);
+            assert_eq!(fleet.observations, 0, "shed observe must not mutate state");
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    // Back under the threshold, observes flow again.
+    drop(_ballast);
+    // The server notices the closed connection at its next read poll.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        match client
+            .request(&Request::Observe {
+                user: 0,
+                hour: 0,
+                harvest_j: 1.0,
+                activity: None,
+                seq: None,
+            })
+            .expect("reply")
+        {
+            Response::Observed { .. } => break,
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                ..
+            } => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "still overloaded after ballast disconnect"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+
+    srv.handle.shutdown();
+    srv.thread.join().unwrap().unwrap();
+}
+
+#[test]
+fn seq_stamped_observes_deduplicate_over_the_wire() {
+    let srv = start(2, 1, ServerConfig::default());
+    let mut client = Client::connect(srv.addr).expect("connect");
+
+    let observe = |client: &mut Client, seq: u64| match client
+        .request(&Request::Observe {
+            user: 1,
+            hour: 0,
+            harvest_j: 2.0,
+            activity: Some(0.25),
+            seq: Some(seq),
+        })
+        .expect("reply")
+    {
+        Response::Observed { budget_j, .. } => Ok(budget_j),
+        Response::Error { code, message } => Err((code, message)),
+        other => panic!("unexpected reply: {other:?}"),
+    };
+
+    let first = observe(&mut client, 1).expect("fresh seq applies");
+    let replay = observe(&mut client, 1).expect("duplicate seq replays");
+    assert_eq!(first.to_bits(), replay.to_bits(), "replay must be cached");
+    let stale = observe(&mut client, 0);
+    assert!(
+        matches!(stale, Err((ErrorCode::BadRequest, _))),
+        "{stale:?}"
+    );
+    let stats = fleet_stats(&mut client);
+    assert_eq!(stats.observations, 1, "duplicate must not double-count");
+
+    srv.handle.shutdown();
+    srv.thread.join().unwrap().unwrap();
 }

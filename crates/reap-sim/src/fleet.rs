@@ -79,6 +79,11 @@ pub struct Fleet {
     pub(crate) policy: Policy,
     pub(crate) forecaster: ForecasterKind,
     pub(crate) shard_users: NonZeroUsize,
+    /// Seeded blackout injection: `Some((seed, fraction))` zeroes a
+    /// seeded contiguous window of `round(fraction * 24)` hours on every
+    /// day of every base trace (see
+    /// [`BlackoutOverlay`](reap_harvest::BlackoutOverlay)).
+    pub(crate) blackout: Option<(u64, f64)>,
     /// The fleet flattened into SoA form, built lazily on the first run
     /// and reused by every later one — a `Fleet` is immutable once
     /// built, so the flattening (cohort dedup, base traces, the user
@@ -137,6 +142,7 @@ impl Fleet {
                 policy: Policy::Reap,
                 forecaster: ForecasterKind::Ewma,
                 shard_users: NonZeroUsize::new(DEFAULT_SHARD_USERS).expect("non-zero constant"),
+                blackout: None,
                 soa_cache: OnceLock::new(),
             },
         }
@@ -236,9 +242,17 @@ impl Fleet {
     /// user on that source perturbs. `O(hours)` once per kind, not per
     /// user.
     pub(crate) fn base_trace(&self, kind: SourceKind) -> Result<HarvestTrace, SimError> {
-        Ok(kind
-            .instantiate(self.base_trace_seed(kind))
-            .generate(self.start_day_of_year, self.days)?)
+        let source = kind.instantiate(self.base_trace_seed(kind));
+        // The blackout overlay wraps here — the single trace hook both
+        // the scalar replay path and the SoA engine route through — so
+        // every engine sees bit-identical blacked-out traces.
+        let source: Box<dyn reap_harvest::HarvestSource> = match self.blackout {
+            Some((seed, fraction)) => {
+                Box::new(reap_harvest::BlackoutOverlay::new(source, seed, fraction)?)
+            }
+            None => source,
+        };
+        Ok(source.generate(self.start_day_of_year, self.days)?)
     }
 
     /// Derives user `user`'s parameters (perturbed points, `alpha`, trace
@@ -457,6 +471,18 @@ impl FleetBuilder {
         self
     }
 
+    /// Injects seeded harvest blackouts: a contiguous window of
+    /// `round(fraction * 24)` hours on every day of every base trace
+    /// harvests exactly zero, with per-day window starts drawn from
+    /// `seed` (default: no blackouts). Models fleet-wide outage stress —
+    /// wearables in drawers, shadowed panels — reproducibly; see
+    /// [`BlackoutOverlay`](reap_harvest::BlackoutOverlay).
+    #[must_use]
+    pub fn blackout(mut self, seed: u64, fraction: f64) -> Self {
+        self.fleet.blackout = Some((seed, fraction));
+        self
+    }
+
     /// Validates and builds the fleet.
     ///
     /// # Errors
@@ -508,6 +534,13 @@ impl FleetBuilder {
                 )));
             }
             _ => {}
+        }
+        if let Some((_, fraction)) = f.blackout {
+            if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+                return Err(SimError::InvalidParameter(format!(
+                    "blackout fraction {fraction} outside [0, 1]"
+                )));
+            }
         }
         if let ForecasterKind::Oracle { rel_error, .. } = f.forecaster {
             if !rel_error.is_finite() || rel_error < 0.0 {

@@ -1,0 +1,192 @@
+//! Fleet robustness under harvest blackouts: with 30% of every day's
+//! hours zeroed by a seeded [`BlackoutOverlay`], every policy must
+//! degrade gracefully — no panics, the hourly energy-conservation
+//! identity still holds, and the monitoring floor stays honored in any
+//! hour whose own harvest can cover it.
+
+use reap_harvest::{Battery, BlackoutOverlay, HarvestSource, SourceKind};
+use reap_sim::{Fleet, FleetReport, Policy, Scenario, SimReport};
+use reap_units::Energy;
+
+/// 30% of 24 hours, rounded: the blackout window tested throughout.
+const FRACTION: f64 = 0.30;
+const WINDOW_HOURS: usize = 7;
+
+fn policies() -> [Policy; 3] {
+    [
+        Policy::Reap,
+        Policy::Static(3),
+        Policy::Horizon { lookahead: 12 },
+    ]
+}
+
+fn fleet(policy: Policy, blackout: Option<(u64, f64)>) -> Fleet {
+    let mut builder = Fleet::builder(reap_device::paper_table2_operating_points())
+        .users(48)
+        .days(5)
+        .seed(7)
+        .policy(policy);
+    if let Some((seed, fraction)) = blackout {
+        builder = builder.blackout(seed, fraction);
+    }
+    builder.build().expect("valid fleet")
+}
+
+fn sane(report: &FleetReport, users: u32) {
+    assert_eq!(report.users(), users);
+    let acc = report.accuracy();
+    assert!(
+        0.0 <= acc.p5 && acc.p5 <= acc.p50 && acc.p50 <= acc.p95 && acc.p95 <= 1.0,
+        "accuracy percentiles disordered: {acc:?}"
+    );
+    let active = report.active_fraction();
+    assert!((0.0..=1.0).contains(&active.p50), "active p50 {active:?}");
+    assert!(report.mean_accuracy().is_finite());
+    assert!(report.mean_active_fraction().is_finite());
+}
+
+#[test]
+fn every_policy_survives_30pct_blackout_with_a_sane_report() {
+    for policy in policies() {
+        let dark = fleet(policy, Some((21, FRACTION)))
+            .run()
+            .unwrap_or_else(|e| panic!("{policy:?} under blackout: {e}"));
+        sane(&dark, 48);
+        let clear = fleet(policy, None).run().expect("baseline runs");
+        sane(&clear, 48);
+        // The fleet genuinely lost input: brownouts do not decrease when
+        // 30% of every day goes dark.
+        assert!(
+            dark.brownout_hours() >= clear.brownout_hours(),
+            "{policy:?}: blackout produced fewer brownout hours \
+             ({} vs {})",
+            dark.brownout_hours(),
+            clear.brownout_hours()
+        );
+    }
+}
+
+#[test]
+fn blackout_zeroes_exactly_the_window_in_every_user_trace() {
+    // Body heat never goes fully dark on its own, so any zero hour in a
+    // blacked-out body-heat trace is the overlay's doing — and the
+    // per-user trace perturbation permutes hours within a day, so the
+    // per-day zero count survives into every user's trace.
+    let base = Fleet::builder(reap_device::paper_table2_operating_points())
+        .users(6)
+        .days(4)
+        .seed(3)
+        .sources(vec![SourceKind::BodyHeat])
+        .build()
+        .expect("valid fleet");
+    let dark = Fleet::builder(reap_device::paper_table2_operating_points())
+        .users(6)
+        .days(4)
+        .seed(3)
+        .sources(vec![SourceKind::BodyHeat])
+        .blackout(21, FRACTION)
+        .build()
+        .expect("valid fleet");
+    for user in 0..6 {
+        let clear_trace = base.user_scenario(user).expect("scenario").trace().clone();
+        let dark_trace = dark.user_scenario(user).expect("scenario").trace().clone();
+        assert!(dark_trace.total() < clear_trace.total(), "user {user}");
+        for day in 0..4 {
+            let zeros = (0..24)
+                .filter(|&h| dark_trace.energy(day, h).joules() == 0.0)
+                .count();
+            assert_eq!(
+                zeros, WINDOW_HOURS,
+                "user {user} day {day}: expected exactly {WINDOW_HOURS} blacked-out hours"
+            );
+            assert!(
+                (0..24).all(|h| clear_trace.energy(day, h).joules() > 0.0),
+                "user {user} day {day}: baseline body heat should never be zero"
+            );
+        }
+    }
+}
+
+#[test]
+fn monitoring_floor_stays_honored_when_the_hours_own_harvest_covers_it() {
+    for policy in policies() {
+        let dark = fleet(policy, Some((21, FRACTION)));
+        for user in [0u32, 17, 33] {
+            let scenario = dark.user_scenario(user).expect("scenario");
+            let floor = scenario.problem().min_budget().joules();
+            let report = scenario.run(policy).expect("runs under blackout");
+            for h in report.hours() {
+                if h.harvested.joules() >= floor {
+                    assert!(
+                        h.budget.joules() >= floor - 1e-9,
+                        "{policy:?} user {user} day {} hour {}: budget {} denies the \
+                         floor {floor} despite {} J harvested",
+                        h.day,
+                        h.hour,
+                        h.budget.joules(),
+                        h.harvested.joules()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Replays the battery from the public hour records and checks the
+/// conservation identity (same accounting as `sim_properties.rs`).
+fn assert_energy_conserved(report: &SimReport, initial: Energy, capacity: Energy, eff: f64) {
+    let mut level = initial.joules();
+    let cap = capacity.joules();
+    for h in report.hours() {
+        let consumed = h.planned.energy().joules() * h.realized_fraction;
+        let harvested = h.harvested.joules();
+        let (charged, discharged, spill);
+        if harvested >= consumed {
+            let storable = (harvested - consumed) * eff;
+            charged = storable.min(cap - level);
+            discharged = 0.0;
+            spill = (storable - charged) / eff;
+        } else {
+            charged = 0.0;
+            discharged = (consumed - harvested) / eff;
+            spill = 0.0;
+        }
+        level = level + charged - discharged;
+        let balance = harvested + discharged * eff - charged / eff - spill;
+        assert!(
+            (balance - consumed).abs() < 1e-9,
+            "day {} hour {}: balance {balance} vs consumption {consumed}",
+            h.day,
+            h.hour
+        );
+        assert!(
+            (level - h.battery_level.joules()).abs() < 1e-9,
+            "day {} hour {}: replayed level {level} vs recorded {}",
+            h.day,
+            h.hour,
+            h.battery_level.joules()
+        );
+        assert!((-1e-9..=cap + 1e-9).contains(&level), "level {level}");
+        level = h.battery_level.joules();
+    }
+}
+
+#[test]
+fn energy_conservation_holds_hour_by_hour_on_blacked_out_traces() {
+    let source = BlackoutOverlay::new(SourceKind::OutdoorSolar.instantiate(2), 21, FRACTION)
+        .expect("valid overlay");
+    let trace = source.generate(244, 4).expect("trace generates");
+    let capacity = Energy::from_joules(60.0);
+    let initial = Energy::from_joules(20.0);
+    let eff = 0.9;
+    for policy in policies() {
+        let scenario = Scenario::builder(trace.clone())
+            .points(reap_device::paper_table2_operating_points())
+            .battery(Battery::new(capacity, initial, eff, eff).expect("valid battery"))
+            .build()
+            .expect("valid scenario");
+        let report = scenario.run(policy).expect("runs under blackout");
+        assert_eq!(report.hours().len(), 4 * 24);
+        assert_energy_conserved(&report, initial, capacity, eff);
+    }
+}

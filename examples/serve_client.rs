@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("daemon listening on {addr} (port 0 bind; kernel-assigned)");
 
     let mut client = Client::connect(addr)?;
-    println!("handshake ok: v1, {} resident users\n", client.users());
+    println!(
+        "handshake ok: v{}, {} resident users\n",
+        reap::serve::PROTOCOL_VERSION,
+        client.users()
+    );
 
     // Stream user 7's first simulated day into the resident state.
     let mut granted = 0.0f64;
@@ -41,6 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             hour: hour as u32,
             harvest_j: harvested.joules(),
             activity: Some(0.2),
+            seq: None,
         })?;
         match reply {
             Response::Observed { budget_j, .. } => granted += budget_j,
