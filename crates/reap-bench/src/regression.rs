@@ -55,6 +55,14 @@ pub fn metrics_for_schema(schema: &str) -> Option<&'static [Metric]> {
             key: "hours_per_s",
             direction: Direction::HigherIsBetter,
         }]),
+        // The intermittent bench also records burst-completion statistics
+        // (epochs/burst, commit ratio), but only event-core throughput is
+        // gated: the completion numbers are pinned exactly by the
+        // committed baseline diff, not a fuzzy perf threshold.
+        "reap-bench/intermittent-v1" => Some(&[Metric {
+            key: "events_per_s",
+            direction: Direction::HigherIsBetter,
+        }]),
         // The serve bench also records decide round-trip p50/p99, but only
         // throughput is gated: loopback tail latency on shared CI runners
         // is too noisy for a hard quantile gate. serve-v2 (the RetryClient
@@ -240,6 +248,10 @@ mod tests {
         assert_eq!(metrics_for_schema("reap-bench/fleet-v1").unwrap().len(), 1);
         assert_eq!(metrics_for_schema("reap-bench/mpc-v1").unwrap().len(), 1);
         assert!(metrics_for_schema("nope").is_none());
+        let intermittent = metrics_for_schema("reap-bench/intermittent-v1").unwrap();
+        assert_eq!(intermittent.len(), 1);
+        assert_eq!(intermittent[0].key, "events_per_s");
+        assert_eq!(intermittent[0].direction, Direction::HigherIsBetter);
         let serve = metrics_for_schema("reap-bench/serve-v1").unwrap();
         assert_eq!(serve.len(), 1);
         assert_eq!(serve[0].key, "decisions_per_s");

@@ -4,9 +4,14 @@
 //! Deployed harvesters lose whole stretches of input — a wearable left
 //! in a drawer, a solar cell shadowed by a parked truck, a TEG off the
 //! wrist. [`BlackoutOverlay`] models those outages as one contiguous
-//! window per day whose start hour is drawn deterministically from a
-//! seed, so fleet robustness experiments are exactly reproducible: the
-//! same `(seed, fraction)` pair blacks out the same hours every run.
+//! window starting on each day, its start hour drawn deterministically
+//! from a seed, so fleet robustness experiments are exactly
+//! reproducible: the same `(seed, fraction)` pair blacks out the same
+//! hours every run. Windows live on the continuous trace timeline — a
+//! late-night window spills past midnight into the next day instead of
+//! wrapping back into hours that already passed, and windows that meet
+//! (a long spill running into the next day's early start) union into
+//! one longer outage rather than double-counting the shared hours.
 
 use reap_units::Energy;
 
@@ -14,8 +19,14 @@ use crate::error::HarvestError;
 use crate::source::HarvestSource;
 
 /// Wraps any [`HarvestSource`] and zeroes a seeded contiguous window of
-/// hours on every day — `round(fraction * 24)` hours per day, window
-/// start drawn per-day from the seed (wrapping past midnight).
+/// `round(fraction * 24)` hours starting on every day, the start hour
+/// drawn per-day from the seed. Windows sit on the continuous trace
+/// timeline: one starting at 22:00 blacks out 22:00–midnight *and the
+/// next day's early hours*, it does not wrap back into the same day's
+/// morning. Where a spill meets the next day's own window the two
+/// union — each hour is blacked out once, never double-zeroed — and a
+/// window reaching past the last generated hour truncates at the trace
+/// end.
 ///
 /// The overlay composes with [`HarvestSource::generate`] unchanged, so
 /// traces built through it stay valid (finite, non-negative) whenever
@@ -26,11 +37,14 @@ use crate::source::HarvestSource;
 ///
 /// let inner = SourceKind::BodyHeat.instantiate(7);
 /// let dark = BlackoutOverlay::new(inner, 42, 0.30).unwrap();
-/// // 30% of 24 hours -> 7 blacked-out hours on every day.
-/// let blacked = (0..24)
+/// // 30% of 24 hours -> a 7-hour outage window starting each day. Day
+/// // 0 has no predecessor to spill into it, so its blacked-out hours
+/// // are exactly its own window clipped at midnight.
+/// assert_eq!(dark.window_hours(), 7);
+/// let day0 = (0..24)
 ///     .filter(|&h| dark.hourly_energy(244, 0, h).joules() == 0.0)
-///     .count();
-/// assert_eq!(blacked, 7);
+///     .count() as u32;
+/// assert_eq!(day0, dark.window_hours().min(24 - dark.window_start(0)));
 /// ```
 pub struct BlackoutOverlay {
     inner: Box<dyn HarvestSource>,
@@ -71,17 +85,22 @@ impl BlackoutOverlay {
         self.window_hours
     }
 
-    /// The window's start hour (0-23) on trace day `day_index`.
-    fn window_start(&self, day_index: u32) -> u32 {
+    /// The start hour (0-23) of the window that *begins* on trace day
+    /// `day_index`. The window itself may run past midnight into day
+    /// `day_index + 1`.
+    #[must_use]
+    pub fn window_start(&self, day_index: u32) -> u32 {
         (splitmix64(
             self.seed ^ (u64::from(day_index).wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         ) % 24) as u32
     }
 
-    /// `true` when `hour` of trace day `day_index` falls inside the
-    /// day's blackout window (windows wrap past midnight into the same
-    /// day's early hours, keeping every day's outage exactly
-    /// [`window_hours`](Self::window_hours) long).
+    /// `true` when `hour` of trace day `day_index` falls inside a
+    /// blackout window on the continuous trace timeline — either the
+    /// window that begins on this day or the tail of the previous day's
+    /// window spilling past midnight. Overlapping windows union: an hour
+    /// covered by both is blacked out once, and no hour between two
+    /// abutting windows is skipped.
     pub fn is_blacked_out(&self, day_index: u32, hour: u32) -> bool {
         if self.window_hours == 0 {
             return false;
@@ -89,9 +108,15 @@ impl BlackoutOverlay {
         if self.window_hours >= 24 {
             return true;
         }
-        let start = self.window_start(day_index);
-        let offset = (hour + 24 - start) % 24;
-        offset < self.window_hours
+        let abs = u64::from(day_index) * 24 + u64::from(hour % 24);
+        // With window_hours < 24 a window reaches at most one midnight
+        // past its start day, so only this day's window and the previous
+        // day's spill can cover `abs`.
+        let covers = |day: u32| {
+            let start = u64::from(day) * 24 + u64::from(self.window_start(day));
+            abs >= start && abs < start + u64::from(self.window_hours)
+        };
+        covers(day_index) || (day_index > 0 && covers(day_index - 1))
     }
 }
 
@@ -142,21 +167,134 @@ mod tests {
     }
 
     #[test]
-    fn every_day_loses_exactly_the_window_and_it_is_contiguous_mod_24() {
+    fn blacked_hours_are_exactly_the_union_of_per_day_windows() {
+        // Reference model: mark [start_d, start_d + w) on an absolute
+        // hour axis for every day, then compare hour by hour. This is
+        // the continuous-timeline contract — no wrap-back, no
+        // double-zeroed overlap hours, no skipped hours between
+        // abutting windows.
         let dark = body_heat(3, 0.30);
         assert_eq!(dark.window_hours(), 7);
-        for day in 0..60 {
-            let blacked: Vec<u32> = (0..24).filter(|&h| dark.is_blacked_out(day, h)).collect();
-            assert_eq!(blacked.len(), 7, "day {day}");
-            // Contiguous mod 24: exactly one wrap-around gap between
-            // consecutive blacked hours (treating the set cyclically).
-            let gaps = (0..blacked.len())
-                .filter(|&i| {
-                    let next = blacked[(i + 1) % blacked.len()];
-                    (next + 24 - blacked[i]) % 24 != 1
-                })
-                .count();
-            assert_eq!(gaps, 1, "day {day}: window not contiguous: {blacked:?}");
+        let days = 60u32;
+        let mut expected = vec![false; (days as usize + 1) * 24];
+        for day in 0..days {
+            let start = day as usize * 24 + dark.window_start(day) as usize;
+            for slot in expected.iter_mut().skip(start).take(7) {
+                *slot = true;
+            }
+        }
+        for day in 0..days {
+            for hour in 0..24 {
+                assert_eq!(
+                    dark.is_blacked_out(day, hour),
+                    expected[day as usize * 24 + hour as usize],
+                    "day {day} hour {hour}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn late_windows_spill_into_the_next_day_instead_of_wrapping() {
+        // Regression: a window abutting a day boundary used to wrap back
+        // into the *same* day's early hours, splitting one physical
+        // outage into two and blacking out hours that had already
+        // passed. Hunt down a seeded late start and pin the spill.
+        let dark = body_heat(3, 0.30);
+        let day = (0..400)
+            .find(|&d| dark.window_start(d) > 17 && dark.window_start(d + 1) > 7)
+            .expect("some seeded day starts late with a late successor");
+        let start = dark.window_start(day);
+        let spill = start + 7 - 24;
+        for h in start..24 {
+            assert!(dark.is_blacked_out(day, h), "day {day} hour {h}");
+        }
+        for h in 0..spill {
+            assert!(dark.is_blacked_out(day + 1, h), "spill hour {h}");
+        }
+        // The same day's early hours stay lit (its own window cannot
+        // wrap, and the chosen predecessor day + 1 cannot be reached by
+        // day - 1 here because day's start > 17 was found fresh).
+        for h in spill..dark.window_start(day + 1).min(24) {
+            assert!(
+                !dark.is_blacked_out(day + 1, h),
+                "day {} hour {h} double-zeroed past the spill",
+                day + 1
+            );
+        }
+    }
+
+    #[test]
+    fn abutting_windows_union_without_double_zeroing_or_gaps() {
+        // Sweep many seeds and days: wherever day d's window spills into
+        // day d+1 and meets day d+1's own window, the union must be one
+        // contiguous run on the absolute timeline (no skipped hour at
+        // the seam, no hour counted twice by the membership predicate).
+        let mut seams = 0;
+        for seed in 0..40u64 {
+            let dark = body_heat(seed, 0.30);
+            for day in 0..60u32 {
+                let start = dark.window_start(day);
+                if start + 7 <= 24 {
+                    continue; // no spill from this day
+                }
+                let spill_end = start + 7 - 24;
+                let next = dark.window_start(day + 1);
+                if next > spill_end {
+                    continue; // spill and next window don't touch
+                }
+                seams += 1;
+                // One merged run: from day d's start through the end of
+                // day d+1's window, every hour is blacked out exactly
+                // per the union, with no gap at the seam.
+                let abs_start = u64::from(day) * 24 + u64::from(start);
+                let abs_end = u64::from(day + 1) * 24 + u64::from(next + 7);
+                for abs in abs_start..abs_end {
+                    let (d, h) = ((abs / 24) as u32, (abs % 24) as u32);
+                    assert!(
+                        dark.is_blacked_out(d, h),
+                        "seed {seed}: gap at day {d} hour {h} inside merged outage"
+                    );
+                }
+            }
+        }
+        assert!(seams > 0, "the sweep never produced an abutting pair");
+    }
+
+    #[test]
+    fn window_at_the_trace_end_truncates_instead_of_wrapping() {
+        // A last-day window that runs past the final generated hour must
+        // simply truncate: the generated trace loses only the in-range
+        // hours and no early hour of the last day gets zeroed in
+        // compensation.
+        let seed = (0..200)
+            .find(|&s| {
+                let dark = body_heat(s, 0.30);
+                dark.window_start(1) > 17 && dark.window_start(0) + 7 <= 18
+            })
+            .expect("some seed ends day 1 with a spilling window");
+        let dark = body_heat(seed, 0.30);
+        let inner = SourceKind::BodyHeat.instantiate(seed);
+        let trace = dark.generate(244, 2).unwrap();
+        let start1 = dark.window_start(1);
+        // BodyHeat never harvests zero on its own, so zeros mark the
+        // blackout exactly.
+        let zeros_day1: Vec<u32> = (0..24)
+            .filter(|&h| trace.energy(1, h).joules() == 0.0)
+            .collect();
+        assert_eq!(
+            zeros_day1,
+            (start1..24).collect::<Vec<_>>(),
+            "seed {seed}: last-day window must cover only its in-range tail"
+        );
+        // Non-blacked hours of the truncated day match the inner source.
+        for h in 0..start1 {
+            if !dark.is_blacked_out(1, h) {
+                assert_eq!(
+                    trace.energy(1, h).joules(),
+                    inner.hourly_energy(245, 1, h).joules()
+                );
+            }
         }
     }
 

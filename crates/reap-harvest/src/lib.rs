@@ -58,6 +58,7 @@
 mod allocator;
 mod battery;
 mod blackout;
+mod capacitor;
 mod error;
 mod forecast;
 mod indoor;
@@ -72,6 +73,7 @@ mod trace;
 pub use allocator::{BudgetAllocator, EwmaAllocator, GreedyAllocator, UniformDailyAllocator};
 pub use battery::Battery;
 pub use blackout::BlackoutOverlay;
+pub use capacitor::Capacitor;
 pub use error::HarvestError;
 pub use forecast::{DiurnalEwma, EwmaForecaster, HarvestForecaster, OracleForecaster};
 pub use indoor::IndoorPhotovoltaic;

@@ -25,18 +25,27 @@ pub enum Policy {
         /// Forecast window length, in hours (must be at least 1).
         lookahead: usize,
     },
+    /// The intermittency-aware burst policy (Approxify-style): at every
+    /// execution epoch pick the operating point that maximizes the
+    /// expected completed work of the *remaining charge burst* — epochs
+    /// until the capacitor hits the brownout threshold, each taxed with
+    /// the checkpoint cost. Only meaningful on scenarios with an
+    /// [`IntermittentConfig`](crate::IntermittentConfig); the scalar
+    /// hourly engine rejects it.
+    Intermittent,
 }
 
 impl Policy {
-    /// Short name for reports: borrowed `"REAP"`, or `"DPk"` / `"MPCh"`
-    /// formatted on demand (reports store the [`Policy`] itself, not a
-    /// name).
+    /// Short name for reports: borrowed `"REAP"` / `"INT"`, or `"DPk"` /
+    /// `"MPCh"` formatted on demand (reports store the [`Policy`]
+    /// itself, not a name).
     #[must_use]
     pub fn name(self) -> Cow<'static, str> {
         match self {
             Policy::Reap => Cow::Borrowed("REAP"),
             Policy::Static(id) => Cow::Owned(format!("DP{id}")),
             Policy::Horizon { lookahead } => Cow::Owned(format!("MPC{lookahead}")),
+            Policy::Intermittent => Cow::Borrowed("INT"),
         }
     }
 }
@@ -47,6 +56,7 @@ impl fmt::Display for Policy {
             Policy::Reap => f.write_str("REAP"),
             Policy::Static(id) => write!(f, "DP{id}"),
             Policy::Horizon { lookahead } => write!(f, "MPC{lookahead}"),
+            Policy::Intermittent => f.write_str("INT"),
         }
     }
 }
@@ -87,110 +97,219 @@ pub(crate) fn open_loop_budgets(scenario: &Scenario) -> Vec<Energy> {
     budgets
 }
 
+/// The per-hour planning pipeline, extracted so the scalar hourly loop
+/// below and the event-driven core ([`crate::clock`]) run *the same*
+/// arithmetic: budget proposal (precomputed open-loop sequence or live
+/// allocator), floor clamp, and policy planning (frontier / static
+/// duty-cycle / receding-horizon MPC).
+///
+/// Bit-for-bit equivalence between the two engines at dt = 1 h rests on
+/// both calling [`HourPlanner::plan_hour`] then [`HourPlanner::end_hour`]
+/// exactly once per hour, in order — the differential harness in
+/// `tests/dt_equivalence.rs` pins that property.
+pub(crate) struct HourPlanner<'s> {
+    scenario: &'s Scenario,
+    policy: Policy,
+    controller: ReapController,
+    allocator: Box<dyn reap_harvest::BudgetAllocator>,
+    mpc: Option<(
+        RecedingHorizonController,
+        Box<dyn reap_harvest::HarvestForecaster>,
+    )>,
+    precomputed: Option<Cow<'s, [Energy]>>,
+    floor: Energy,
+    total_hours: usize,
+    harvested_last_hour: Energy,
+}
+
+impl<'s> HourPlanner<'s> {
+    /// Builds the planning pipeline for one `(scenario, policy)` run.
+    ///
+    /// Rejects [`Policy::Intermittent`]: burst planning has no hourly
+    /// budget layer — the event core handles it directly.
+    pub(crate) fn new(
+        scenario: &'s Scenario,
+        policy: Policy,
+        shared_budgets: Option<&'s [Energy]>,
+    ) -> Result<Self, SimError> {
+        if policy == Policy::Intermittent {
+            return Err(SimError::InvalidParameter(
+                "Policy::Intermittent has no hourly budget pipeline; it requires a \
+                 scenario with an IntermittentConfig (Scenario::builder().intermittent(..))"
+                    .to_owned(),
+            ));
+        }
+        // The frontier solver: one precomputed frontier serves all 720
+        // hourly plans of a month-long trace.
+        let controller =
+            ReapController::with_solver(scenario.problem.clone(), SolverKind::Frontier);
+        let allocator = scenario.allocator.instantiate();
+        let floor = scenario.problem.min_budget();
+        // The MPC policy replaces the budget layer entirely: a forecaster
+        // feeds a receding-horizon controller that plans the window
+        // jointly.
+        let mpc = match policy {
+            Policy::Horizon { lookahead } => Some((
+                RecedingHorizonController::new(scenario.problem.clone(), lookahead)?,
+                scenario.forecaster.instantiate(&scenario.trace),
+            )),
+            _ => None,
+        };
+        let precomputed: Option<Cow<'s, [Energy]>> =
+            match (&mpc, shared_budgets, scenario.budget_mode) {
+                (Some(_), _, _) => None,
+                (None, Some(budgets), crate::BudgetMode::OpenLoop) => Some(Cow::Borrowed(budgets)),
+                (None, None, crate::BudgetMode::OpenLoop) => {
+                    Some(Cow::Owned(open_loop_budgets(scenario)))
+                }
+                (None, _, crate::BudgetMode::ClosedLoop) => None,
+            };
+        Ok(HourPlanner {
+            scenario,
+            policy,
+            controller,
+            allocator,
+            mpc,
+            precomputed,
+            floor,
+            total_hours: scenario.trace.len_hours(),
+            harvested_last_hour: Energy::ZERO,
+        })
+    }
+
+    /// Budget-and-plan for trace hour `i`: the allocation layer proposes
+    /// a budget first — open-loop from the precomputed,
+    /// policy-independent sequence, closed-loop from this run's own
+    /// battery trajectory — and the policy plans against it. Optimistic
+    /// proposals are fine — execution browns out when the actual supply
+    /// falls short — but the floor must stay reachable whenever the
+    /// battery (or the hour's own harvest, which execution draws first)
+    /// can still provide it, so the monitoring circuitry is kept alive
+    /// through dark hours. The MPC policy instead plans its whole
+    /// forecast window jointly and reports the planned energy as the
+    /// budget.
+    pub(crate) fn plan_hour(
+        &mut self,
+        i: usize,
+        harvested: Energy,
+        battery: &reap_harvest::Battery,
+    ) -> Result<(Energy, Schedule), SimError> {
+        let hour = (i % 24) as u32;
+        match (self.policy, &mut self.mpc) {
+            (Policy::Horizon { lookahead }, Some((mpc_controller, forecaster))) => {
+                let window = lookahead.min(self.total_hours - i);
+                let forecast = forecaster.forecast(i, window);
+                let planned =
+                    mpc_controller.plan(&forecast, battery.level(), battery.capacity())?;
+                Ok((planned.energy(), planned))
+            }
+            _ => {
+                let budget = match &self.precomputed {
+                    Some(budgets) => budgets[i],
+                    None => {
+                        let proposed =
+                            self.allocator
+                                .allocate(hour, self.harvested_last_hour, battery);
+                        proposed.max(self.floor.min(battery.deliverable() + harvested))
+                    }
+                };
+                let planned = match self.policy {
+                    Policy::Reap => self.controller.plan(budget)?,
+                    Policy::Static(id) => {
+                        let effective = budget.max(self.floor);
+                        static_schedule(&self.scenario.problem, id, effective)?
+                    }
+                    Policy::Horizon { .. } | Policy::Intermittent => {
+                        unreachable!("handled above / rejected in new()")
+                    }
+                };
+                Ok((budget, planned))
+            }
+        }
+    }
+
+    /// Closes trace hour `i`: the forecaster observes the realized
+    /// harvest and the allocator's last-hour memory advances. Call after
+    /// the hour's record is final, exactly once per completed hour.
+    pub(crate) fn end_hour(&mut self, i: usize, harvested: Energy) {
+        if let Some((_, forecaster)) = &mut self.mpc {
+            forecaster.observe(i, harvested);
+        }
+        self.harvested_last_hour = harvested;
+    }
+
+    /// The name of the energy layer that actually drove the run: the
+    /// budget allocator for the myopic policies, the forecaster for the
+    /// MPC (which bypasses the allocator entirely).
+    pub(crate) fn energy_layer(&self) -> &'static str {
+        match &self.mpc {
+            Some((_, forecaster)) => forecaster.name(),
+            None => self.allocator.name(),
+        }
+    }
+}
+
+/// Executes one step against a battery: draw from the incoming harvest
+/// first, then the battery; brown out proportionally if supply falls
+/// short. Returns the realized fraction of `needed` in `[0, 1]`.
+///
+/// Shared verbatim between the scalar hourly loop and the event core's
+/// battery mode — the arithmetic here *is* the execution semantics both
+/// engines are pinned to.
+pub(crate) fn execute_step(
+    battery: &mut reap_harvest::Battery,
+    harvested: Energy,
+    needed: Energy,
+) -> f64 {
+    let mut realized_fraction = 1.0;
+    if harvested >= needed {
+        battery.charge(harvested - needed);
+    } else {
+        let deficit = needed - harvested;
+        let delivered = battery.discharge(deficit);
+        if delivered.joules() + 1e-12 < deficit.joules() {
+            let supplied = harvested + delivered;
+            realized_fraction = if needed.joules() > 0.0 {
+                (supplied / needed).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+        }
+    }
+    realized_fraction
+}
+
 /// Runs `scenario` under `policy`, optionally against an open-loop budget
 /// sequence the caller already computed (`None` derives budgets from the
 /// scenario's own mode, exactly as before).
+///
+/// Scenarios configured for the event core (sub-hour `dt_seconds` or an
+/// [`IntermittentConfig`](crate::IntermittentConfig)) are routed to
+/// [`crate::clock`]; everything else takes the scalar hourly loop below.
 pub(crate) fn run_with_budgets(
     scenario: &Scenario,
     policy: Policy,
     shared_budgets: Option<&[Energy]>,
 ) -> Result<SimReport, SimError> {
+    if scenario.uses_event_core() {
+        return crate::clock::run_event_driven_with_budgets(scenario, policy, shared_budgets)
+            .map(|run| run.report);
+    }
     // Fail fast on unknown static ids.
     if let Policy::Static(id) = policy {
         scenario.problem.point(id)?;
     }
-    // The frontier solver: one precomputed frontier serves all 720 hourly
-    // plans of a month-long trace.
-    let mut controller =
-        ReapController::with_solver(scenario.problem.clone(), SolverKind::Frontier);
-    let mut allocator = scenario.allocator.instantiate();
+    let mut planner = HourPlanner::new(scenario, policy, shared_budgets)?;
     let mut battery = scenario.battery.clone();
-    let problem = &scenario.problem;
-    let floor = problem.min_budget();
-    // The MPC policy replaces the budget layer entirely: a forecaster
-    // feeds a receding-horizon controller that plans the window jointly.
-    let mut mpc = match policy {
-        Policy::Horizon { lookahead } => Some((
-            RecedingHorizonController::new(scenario.problem.clone(), lookahead)?,
-            scenario.forecaster.instantiate(&scenario.trace),
-        )),
-        _ => None,
-    };
-    let precomputed: Option<Cow<'_, [Energy]>> = match (&mpc, shared_budgets, scenario.budget_mode)
-    {
-        (Some(_), _, _) => None,
-        (None, Some(budgets), crate::BudgetMode::OpenLoop) => Some(Cow::Borrowed(budgets)),
-        (None, None, crate::BudgetMode::OpenLoop) => Some(Cow::Owned(open_loop_budgets(scenario))),
-        (None, _, crate::BudgetMode::ClosedLoop) => None,
-    };
-
     let total_hours = scenario.trace.len_hours();
     let mut hours = Vec::with_capacity(total_hours);
-    let mut harvested_last_hour = Energy::ZERO;
 
     for (i, harvested) in scenario.trace.iter().enumerate() {
         let day = (i / 24) as u32;
         let hour = (i % 24) as u32;
-
-        // 1. + 2. Budget and plan. For the myopic policies the allocation
-        //    layer proposes a budget first — open-loop from the
-        //    precomputed, policy-independent sequence, closed-loop from
-        //    this policy's own battery trajectory — and the policy plans
-        //    against it. Optimistic proposals are fine — execution below
-        //    browns out when the actual supply falls short — but the
-        //    floor must stay reachable whenever the battery (or the
-        //    hour's own harvest, which execution draws first) can still
-        //    provide it, so the monitoring circuitry is kept alive
-        //    through dark hours. The MPC policy instead plans its whole
-        //    forecast window jointly and reports the planned energy as
-        //    the budget.
-        let (budget, planned): (Energy, Schedule) = match (policy, &mut mpc) {
-            (Policy::Horizon { lookahead }, Some((mpc_controller, forecaster))) => {
-                let window = lookahead.min(total_hours - i);
-                let forecast = forecaster.forecast(i, window);
-                let planned =
-                    mpc_controller.plan(&forecast, battery.level(), battery.capacity())?;
-                (planned.energy(), planned)
-            }
-            _ => {
-                let budget = match &precomputed {
-                    Some(budgets) => budgets[i],
-                    None => {
-                        let proposed = allocator.allocate(hour, harvested_last_hour, &battery);
-                        proposed.max(floor.min(battery.deliverable() + harvested))
-                    }
-                };
-                let planned = match policy {
-                    Policy::Reap => controller.plan(budget)?,
-                    Policy::Static(id) => {
-                        let effective = budget.max(floor);
-                        static_schedule(problem, id, effective)?
-                    }
-                    Policy::Horizon { .. } => unreachable!("handled above"),
-                };
-                (budget, planned)
-            }
-        };
-
-        // 3. Execute: draw from the incoming harvest first, then the
-        //    battery; brown out proportionally if supply falls short.
+        let (budget, planned) = planner.plan_hour(i, harvested, &battery)?;
         let needed = planned.energy();
-        let mut realized_fraction = 1.0;
-        if harvested >= needed {
-            battery.charge(harvested - needed);
-        } else {
-            let deficit = needed - harvested;
-            let delivered = battery.discharge(deficit);
-            if delivered.joules() + 1e-12 < deficit.joules() {
-                let supplied = harvested + delivered;
-                realized_fraction = if needed.joules() > 0.0 {
-                    (supplied / needed).clamp(0.0, 1.0)
-                } else {
-                    1.0
-                };
-            }
-        }
-
+        let realized_fraction = execute_step(&mut battery, harvested, needed);
         hours.push(HourRecord {
             day,
             hour,
@@ -200,20 +319,16 @@ pub(crate) fn run_with_budgets(
             realized_fraction,
             battery_level: battery.level(),
         });
-        if let Some((_, forecaster)) = &mut mpc {
-            forecaster.observe(i, harvested);
-        }
-        harvested_last_hour = harvested;
+        planner.end_hour(i, harvested);
     }
 
-    // The report labels the energy layer that actually drove the run:
-    // the budget allocator for the myopic policies, the forecaster for
-    // the MPC (which bypasses the allocator entirely).
-    let energy_layer = match &mpc {
-        Some((_, forecaster)) => forecaster.name(),
-        None => allocator.name(),
-    };
-    Ok(SimReport::new(policy, energy_layer, problem.alpha(), hours))
+    let energy_layer = planner.energy_layer();
+    Ok(SimReport::new(
+        policy,
+        energy_layer,
+        scenario.problem.alpha(),
+        hours,
+    ))
 }
 
 /// Runs `scenario` under `policy` with budgets derived from the
@@ -259,6 +374,8 @@ mod tests {
         assert_eq!(Policy::Static(3).name(), "DP3");
         assert_eq!(Policy::Horizon { lookahead: 24 }.name(), "MPC24");
         assert_eq!(Policy::Horizon { lookahead: 4 }.to_string(), "MPC4");
+        assert_eq!(Policy::Intermittent.name(), "INT");
+        assert_eq!(Policy::Intermittent.to_string(), "INT");
     }
 
     /// A 3-day periodic trace (2 J for hours 6..=17, dark otherwise) on a

@@ -84,6 +84,13 @@ pub struct Fleet {
     /// day of every base trace (see
     /// [`BlackoutOverlay`](reap_harvest::BlackoutOverlay)).
     pub(crate) blackout: Option<(u64, f64)>,
+    /// Capacitor-scale intermittent operation: every user runs on the
+    /// configured capacitor store with power-failure semantics instead of
+    /// the battery (see [`IntermittentConfig`](crate::IntermittentConfig)).
+    pub(crate) intermittent: Option<crate::clock::IntermittentConfig>,
+    /// Engine step width in seconds (default 3600). Sub-hour values route
+    /// every user through the event-driven variable-dt core.
+    pub(crate) dt_seconds: u32,
     /// The fleet flattened into SoA form, built lazily on the first run
     /// and reused by every later one — a `Fleet` is immutable once
     /// built, so the flattening (cohort dedup, base traces, the user
@@ -143,6 +150,8 @@ impl Fleet {
                 forecaster: ForecasterKind::Ewma,
                 shard_users: NonZeroUsize::new(DEFAULT_SHARD_USERS).expect("non-zero constant"),
                 blackout: None,
+                intermittent: None,
+                dt_seconds: 3600,
                 soa_cache: OnceLock::new(),
             },
         }
@@ -219,12 +228,16 @@ impl Fleet {
         let base = self.base_trace(self.user_source(user))?;
         let params = self.user_params(user)?;
         let trace = params.perturbation.apply(&base)?;
-        Scenario::builder(trace)
+        let mut builder = Scenario::builder(trace)
             .points(params.points)
             .alpha(params.alpha)
             .allocator(self.allocator)
             .forecaster(self.forecaster)
-            .build()
+            .dt_seconds(self.dt_seconds);
+        if let Some(cfg) = &self.intermittent {
+            builder = builder.intermittent(cfg.clone());
+        }
+        builder.build()
     }
 
     /// The seed the shared base trace of `kind` derives from: one weather
@@ -483,6 +496,26 @@ impl FleetBuilder {
         self
     }
 
+    /// Puts every user on a capacitor-scale intermittent energy store:
+    /// harvest charges the configured capacitor, brownouts kill the node
+    /// and lose volatile state, and turn-on pays the restore tax (default:
+    /// battery operation). Required by [`Policy::Intermittent`]; the
+    /// event-driven core runs every user when set.
+    #[must_use]
+    pub fn intermittent(mut self, config: crate::clock::IntermittentConfig) -> Self {
+        self.fleet.intermittent = Some(config);
+        self
+    }
+
+    /// Sets the engine step width in seconds (default 3600). Must divide
+    /// the hour evenly; sub-hour widths route every user through the
+    /// event-driven variable-dt core.
+    #[must_use]
+    pub fn dt_seconds(mut self, dt_seconds: u32) -> Self {
+        self.fleet.dt_seconds = dt_seconds;
+        self
+    }
+
     /// Validates and builds the fleet.
     ///
     /// # Errors
@@ -533,7 +566,20 @@ impl FleetBuilder {
                     "static policy references unknown operating point {id}"
                 )));
             }
+            Policy::Intermittent if f.intermittent.is_none() => {
+                return Err(SimError::InvalidParameter(
+                    "the intermittent policy needs an intermittent energy store; \
+                     configure one with FleetBuilder::intermittent"
+                        .into(),
+                ));
+            }
             _ => {}
+        }
+        if f.dt_seconds == 0 || 3600 % f.dt_seconds != 0 {
+            return Err(SimError::InvalidParameter(format!(
+                "dt of {} s does not divide the hour evenly",
+                f.dt_seconds
+            )));
         }
         if let Some((_, fraction)) = f.blackout {
             if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod activity_stream;
+pub mod clock;
 mod engine;
 mod error;
 mod fidelity;
@@ -50,6 +51,7 @@ mod scenario;
 pub mod soa;
 
 pub use activity_stream::ActivityStream;
+pub use clock::{ClockStats, EventRecord, IntermittentConfig, VdtRun};
 pub use engine::Policy;
 pub use error::SimError;
 pub use fidelity::{execute_schedule, ExecutionOutcome, PointOutcome};

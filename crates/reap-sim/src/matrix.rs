@@ -60,15 +60,20 @@ pub fn run_matrix_with_threads(
 
     // Open-loop budget sequences are policy-independent: one per
     // scenario. Skip the precompute entirely when no policy consumes
-    // budgets (an all-MPC batch, e.g. a fleet on `Policy::Horizon`):
-    // running the allocator over every trace would be pure waste.
+    // budgets (an all-MPC batch, e.g. a fleet on `Policy::Horizon`, or
+    // an all-burst batch on `Policy::Intermittent` — burst planning has
+    // no hourly budget layer): running the allocator over every trace
+    // would be pure waste. Intermittent scenarios also skip it: their
+    // hourly budget layer runs closed-loop against the capacitor.
     let any_budget_consumer = policies
         .iter()
-        .any(|p| !matches!(p, Policy::Horizon { .. }));
+        .any(|p| !matches!(p, Policy::Horizon { .. } | Policy::Intermittent));
     let shared_budgets: Vec<Option<Vec<Energy>>> = scenarios
         .iter()
         .map(|s| match s.budget_mode {
-            BudgetMode::OpenLoop if any_budget_consumer => Some(engine::open_loop_budgets(s)),
+            BudgetMode::OpenLoop if any_budget_consumer && s.intermittent.is_none() => {
+                Some(engine::open_loop_budgets(s))
+            }
             _ => None,
         })
         .collect();

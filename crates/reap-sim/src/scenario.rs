@@ -7,6 +7,7 @@ use reap_harvest::{
 };
 use reap_units::Power;
 
+use crate::clock::IntermittentConfig;
 use crate::engine::{self, Policy};
 use crate::{SimError, SimReport};
 
@@ -91,6 +92,14 @@ pub struct Scenario {
     pub(crate) allocator: AllocatorKind,
     pub(crate) budget_mode: BudgetMode,
     pub(crate) forecaster: ForecasterKind,
+    /// Execution-epoch length of the event core, in seconds. 3600 (the
+    /// default) with no [`IntermittentConfig`] keeps the scalar hourly
+    /// engine; anything else routes through [`crate::clock`].
+    pub(crate) dt_seconds: u32,
+    /// Capacitor-scale intermittent operation, when configured.
+    pub(crate) intermittent: Option<IntermittentConfig>,
+    /// Record the event core's event stream (crash-point harnesses).
+    pub(crate) trace_events: bool,
 }
 
 /// Builder for [`Scenario`].
@@ -104,6 +113,9 @@ pub struct ScenarioBuilder {
     allocator: AllocatorKind,
     budget_mode: BudgetMode,
     forecaster: ForecasterKind,
+    dt_seconds: u32,
+    intermittent: Option<IntermittentConfig>,
+    trace_events: bool,
 }
 
 impl Scenario {
@@ -143,6 +155,9 @@ impl Scenario {
             allocator: AllocatorKind::default(),
             budget_mode: BudgetMode::default(),
             forecaster: ForecasterKind::default(),
+            dt_seconds: 3600,
+            intermittent: None,
+            trace_events: false,
         }
     }
 
@@ -156,6 +171,41 @@ impl Scenario {
     #[must_use]
     pub fn trace(&self) -> &HarvestTrace {
         &self.trace
+    }
+
+    /// Execution-epoch length in seconds (3600 unless configured via
+    /// [`ScenarioBuilder::dt_seconds`]).
+    #[must_use]
+    pub fn dt_seconds(&self) -> u32 {
+        self.dt_seconds
+    }
+
+    /// The intermittent-operation configuration, when this is a
+    /// batteryless scenario.
+    #[must_use]
+    pub fn intermittent(&self) -> Option<&IntermittentConfig> {
+        self.intermittent.as_ref()
+    }
+
+    /// `true` when running this scenario takes the event-driven core
+    /// ([`crate::clock`]) instead of the scalar hourly loop: a sub-hour
+    /// `dt` or an [`IntermittentConfig`] is set.
+    #[must_use]
+    pub fn uses_event_core(&self) -> bool {
+        self.dt_seconds != 3600 || self.intermittent.is_some()
+    }
+
+    /// Runs the scenario on the event-driven core regardless of
+    /// configuration, returning the report *plus* the core's event
+    /// statistics and energy ledger ([`crate::ClockStats`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scenario::run`], plus rejection of
+    /// [`Policy::Intermittent`] on scenarios without an
+    /// [`IntermittentConfig`].
+    pub fn run_event_driven(&self, policy: Policy) -> Result<crate::VdtRun, SimError> {
+        crate::clock::run_event_driven_with_budgets(self, policy, None)
     }
 
     /// Runs the scenario under a policy, returning the hour-by-hour
@@ -242,13 +292,41 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the event core's execution-epoch length in seconds (default
+    /// 3600 = one hour). Must divide an hour evenly. Any value other
+    /// than 3600 routes the scenario through the event-driven core.
+    #[must_use]
+    pub fn dt_seconds(mut self, dt_seconds: u32) -> Self {
+        self.dt_seconds = dt_seconds;
+        self
+    }
+
+    /// Configures batteryless intermittent operation: the scenario runs
+    /// on the event core against `config`'s capacitor instead of the
+    /// battery, with power-failure + checkpoint/restore semantics.
+    #[must_use]
+    pub fn intermittent(mut self, config: IntermittentConfig) -> Self {
+        self.intermittent = Some(config);
+        self
+    }
+
+    /// Records the event core's event stream in
+    /// [`VdtRun::events`](crate::VdtRun::events) (default off — the log
+    /// exists for crash-point harnesses, not production runs).
+    #[must_use]
+    pub fn trace_events(mut self, trace_events: bool) -> Self {
+        self.trace_events = trace_events;
+        self
+    }
+
     /// Validates and builds the scenario.
     ///
     /// # Errors
     ///
     /// [`SimError::Core`] when the operating-point set is invalid (empty,
     /// duplicate ids, bad alpha, ...); [`SimError::InvalidParameter`] for
-    /// a non-finite or negative oracle forecast error.
+    /// a non-finite or negative oracle forecast error, or a `dt_seconds`
+    /// that does not divide an hour evenly.
     pub fn build(self) -> Result<Scenario, SimError> {
         if let ForecasterKind::Oracle { rel_error, .. } = self.forecaster {
             if !rel_error.is_finite() || rel_error < 0.0 {
@@ -256,6 +334,12 @@ impl ScenarioBuilder {
                     "oracle forecast error {rel_error} must be finite and non-negative"
                 )));
             }
+        }
+        if self.dt_seconds == 0 || 3600 % self.dt_seconds != 0 {
+            return Err(SimError::InvalidParameter(format!(
+                "dt_seconds {} must divide an hour (3600) evenly",
+                self.dt_seconds
+            )));
         }
         let problem = ReapProblem::builder()
             .alpha(self.alpha)
@@ -269,6 +353,9 @@ impl ScenarioBuilder {
             allocator: self.allocator,
             budget_mode: self.budget_mode,
             forecaster: self.forecaster,
+            dt_seconds: self.dt_seconds,
+            intermittent: self.intermittent,
+            trace_events: self.trace_events,
         })
     }
 }

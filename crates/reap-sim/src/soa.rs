@@ -214,7 +214,9 @@ impl SoaFleet {
         // Per-user parameters and cohort deduplication. The cohort key is
         // the exact bit pattern of (alpha, per-point id/accuracy/power):
         // cohort mates share every input of the frontier build.
-        let wants_tables = matches!(fleet.policy, Policy::Reap | Policy::Static(_));
+        let wants_tables = matches!(fleet.policy, Policy::Reap | Policy::Static(_))
+            && fleet.intermittent.is_none()
+            && fleet.dt_seconds == 3600;
         let mut cohort_map: HashMap<Vec<u64>, u32> = HashMap::new();
         let mut cohort_params: Vec<(f64, Vec<OperatingPoint>)> = Vec::new();
         let mut gain_user = vec![0.0f64; users];
@@ -360,15 +362,17 @@ impl SoaFleet {
                         // formula instead.
                         sat_budget.push(f64::INFINITY);
                     }
-                    Policy::Horizon { .. } => unreachable!("gated by wants_tables"),
+                    Policy::Horizon { .. } | Policy::Intermittent => {
+                        unreachable!("gated by wants_tables")
+                    }
                 }
             }
             vert_off.push(verts.len() as u32);
         }
         let kernel = match fleet.policy {
-            Policy::Reap => PlanKernel::Reap,
-            Policy::Static(_) => PlanKernel::Static(statics),
-            Policy::Horizon { .. } => PlanKernel::Scalar,
+            Policy::Reap if wants_tables => PlanKernel::Reap,
+            Policy::Static(_) if wants_tables => PlanKernel::Static(statics),
+            _ => PlanKernel::Scalar,
         };
 
         let mut soa = SoaFleet {
@@ -417,8 +421,9 @@ impl SoaFleet {
     }
 
     /// `true` when the configured policy runs on the SoA kernels
-    /// ([`Policy::Reap`] / [`Policy::Static`]); `false` for the scalar
-    /// fallback ([`Policy::Horizon`]).
+    /// ([`Policy::Reap`] / [`Policy::Static`] on an hourly battery);
+    /// `false` for the scalar fallback ([`Policy::Horizon`], any
+    /// intermittent or sub-hour fleet).
     #[must_use]
     pub fn supports_policy(&self) -> bool {
         !matches!(self.kernel, PlanKernel::Scalar)
