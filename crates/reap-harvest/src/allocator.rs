@@ -216,6 +216,7 @@ impl BudgetAllocator for UniformDailyAllocator {
         let divisor = if self.filled {
             24.0
         } else {
+            // reap-lint: allow(unsafe:float-cast) -- cursor counts absorbed hours, far below 2^53; exact
             self.cursor.max(1) as f64
         };
         let daily: f64 = self.window.iter().sum();

@@ -53,7 +53,7 @@ impl SolarModel {
     pub fn sin_elevation(&self, day_of_year: u32, hour: f64) -> f64 {
         // Cooper's declination formula.
         let declination = (23.45f64).to_radians()
-            * (2.0 * std::f64::consts::PI * (284 + day_of_year) as f64 / 365.0).sin();
+            * (2.0 * std::f64::consts::PI * f64::from(284 + day_of_year) / 365.0).sin();
         let hour_angle = (15.0 * (hour - 12.0)).to_radians();
         self.latitude_rad.sin() * declination.sin()
             + self.latitude_rad.cos() * declination.cos() * hour_angle.cos()

@@ -91,7 +91,7 @@ impl BodyHeatTeg {
     /// Seasonal ambient factor: winter cold widens the gradient, summer
     /// heat narrows it (±25% around the annual mean, peaking mid-January).
     fn seasonal_factor(day_of_year: u32) -> f64 {
-        let phase = 2.0 * std::f64::consts::PI * (day_of_year as f64 - 15.0) / 365.0;
+        let phase = 2.0 * std::f64::consts::PI * (f64::from(day_of_year) - 15.0) / 365.0;
         1.0 + 0.25 * phase.cos()
     }
 }

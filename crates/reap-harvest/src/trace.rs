@@ -144,7 +144,7 @@ impl HarvestTrace {
         for (i, e) in self.hourly.iter().enumerate() {
             sums[i % 24] += e.joules();
         }
-        let days = self.days() as f64;
+        let days = f64::from(self.days());
         sums.map(|s| Energy::from_joules(s / days))
     }
 

@@ -57,6 +57,7 @@ mod sigint {
 
     /// Installs the handler for SIGINT (2).
     pub fn install() {
+        // reap-lint: allow(unsafe:unsafe-block) -- libc signal(2) FFI; the handler only stores an AtomicBool, which is async-signal-safe
         unsafe {
             signal(2, on_sigint);
         }

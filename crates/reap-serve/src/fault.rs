@@ -276,6 +276,7 @@ impl<S: Read> Read for ChaosStream<S> {
             }
             Fault::Short => {
                 let n = buf.len().min(1);
+                // reap-lint: allow(panic:index) -- n = len.min(1) <= len
                 self.inner.read(&mut buf[..n])
             }
             Fault::Error => {
@@ -311,6 +312,7 @@ impl<S: Write> Write for ChaosStream<S> {
                 // Mid-frame cut: half the buffer escapes, then the
                 // stream dies. The peer sees a torn frame and an EOF/RST.
                 let n = (buf.len() / 2).max(1).min(buf.len());
+                // reap-lint: allow(panic:index) -- n is clamped to buf.len() on the line above
                 let written = self.inner.write(&buf[..n]);
                 let _ = self.inner.flush();
                 self.poisoned = true;

@@ -370,7 +370,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ProtocolError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), ProtocolError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -394,6 +394,7 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, lit: &str, v: Json) -> Result<Json, ProtocolError> {
+        // reap-lint: allow(panic:index) -- parser invariant: pos <= bytes.len(), so the range slice is in-bounds
         if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(v)
@@ -403,7 +404,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, ProtocolError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -414,7 +415,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let value = self.value()?;
             members.push((key, value));
             self.skip_ws();
@@ -430,7 +431,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, ProtocolError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -452,7 +453,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, ProtocolError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let Some(b) = self.peek() else {
@@ -480,6 +481,7 @@ impl<'a> Parser<'a> {
                             // Surrogate pairs: a high surrogate must be
                             // followed by \uDC00..DFFF.
                             if (0xD800..0xDC00).contains(&cp) {
+                                // reap-lint: allow(panic:index) -- parser invariant: pos <= bytes.len()
                                 if !self.bytes[self.pos..].starts_with(b"\\u") {
                                     return Err(self.err("lone high surrogate"));
                                 }
@@ -512,6 +514,7 @@ impl<'a> Parser<'a> {
                     let start = self.pos - 1;
                     let len = utf8_len(b);
                     self.pos = start + len;
+                    // reap-lint: allow(panic:index) -- input is a &str, so the UTF-8 sequence at `start` is complete and in-bounds
                     let s = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid UTF-8"))?;
                     out.push_str(s);
@@ -524,6 +527,7 @@ impl<'a> Parser<'a> {
         if self.pos + 4 > self.bytes.len() {
             return Err(self.err("truncated \\u escape"));
         }
+        // reap-lint: allow(panic:index) -- length checked on the line above
         let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
             .map_err(|_| self.err("invalid \\u escape"))?;
         let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
@@ -554,6 +558,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
+        // reap-lint: allow(panic:index) -- parser invariant: start <= pos <= bytes.len()
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
         let v: f64 = text.parse().map_err(|_| self.err("invalid number"))?;

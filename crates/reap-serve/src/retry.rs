@@ -185,7 +185,7 @@ impl<L: IoLayer> RetryClient<L> {
         let deadline = Instant::now() + rc.config.request_deadline;
         loop {
             match rc.ensure_connected() {
-                Ok(()) => return Ok(rc),
+                Ok(_) => return Ok(rc),
                 Err(e) => {
                     let last = format!("connect: {e}");
                     rc.backoff_or_deadline(deadline, &last)?;
@@ -232,21 +232,28 @@ impl<L: IoLayer> RetryClient<L> {
         Ok(())
     }
 
-    fn ensure_connected(&mut self) -> io::Result<()> {
-        if self.client.is_some() {
-            return Ok(());
+    fn ensure_connected(&mut self) -> io::Result<&mut Client> {
+        if self.client.is_none() {
+            let client = Client::connect_with_layer(self.addr, &self.layer)?;
+            client.set_io_timeout(Some(self.config.request_deadline))?;
+            self.users = client.users();
+            if self.ever_connected {
+                // Re-establishing after a lost session; the first-ever
+                // connect is not a reconnect.
+                self.reconnects += 1;
+            }
+            self.ever_connected = true;
+            self.client = Some(client);
         }
-        let client = Client::connect_with_layer(self.addr, &self.layer)?;
-        client.set_io_timeout(Some(self.config.request_deadline))?;
-        self.users = client.users();
-        if self.ever_connected {
-            // Re-establishing after a lost session; the first-ever
-            // connect is not a reconnect.
-            self.reconnects += 1;
+        match self.client.as_mut() {
+            Some(session) => Ok(session),
+            // Unreachable (the Option is Some on every path above), but
+            // a typed error keeps the serving path panic-free.
+            None => Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "session vanished during connect",
+            )),
         }
-        self.ever_connected = true;
-        self.client = Some(client);
-        Ok(())
     }
 
     /// Decorrelated jitter: `sleep = clamp(base, rand(base, prev * 3), max)`.
@@ -297,16 +304,14 @@ impl<L: IoLayer> RetryClient<L> {
             if attempts > 1 {
                 self.retries += 1;
             }
-            if let Err(e) = self.ensure_connected() {
-                last = format!("connect: {e}");
-                self.backoff_or_deadline(deadline, &last)?;
-                continue;
-            }
-            let outcome = self
-                .client
-                .as_mut()
-                .expect("ensure_connected left a session")
-                .request(request);
+            let outcome = match self.ensure_connected() {
+                Ok(session) => session.request(request),
+                Err(e) => {
+                    last = format!("connect: {e}");
+                    self.backoff_or_deadline(deadline, &last)?;
+                    continue;
+                }
+            };
             match outcome {
                 Ok(Response::Error { code, message })
                     if matches!(code, ErrorCode::Overloaded | ErrorCode::Evicted) =>
@@ -406,17 +411,15 @@ impl<L: IoLayer> RetryClient<L> {
     /// [`RetryError::Exhausted`] with one attempt, or a terminal
     /// [`RetryError::Server`].
     pub fn request_once(&mut self, request: &Request) -> Result<Response, RetryError> {
-        if let Err(e) = self.ensure_connected() {
-            return Err(RetryError::Exhausted {
-                attempts: 1,
-                last: format!("connect: {e}"),
-            });
-        }
-        let outcome = self
-            .client
-            .as_mut()
-            .expect("ensure_connected left a session")
-            .request(request);
+        let outcome = match self.ensure_connected() {
+            Ok(session) => session.request(request),
+            Err(e) => {
+                return Err(RetryError::Exhausted {
+                    attempts: 1,
+                    last: format!("connect: {e}"),
+                });
+            }
+        };
         match outcome {
             Ok(Response::Error { code, message }) => {
                 Err(RetryError::Server(ProtocolError::new(code, message)))

@@ -43,11 +43,12 @@ use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::fault::{IoLayer, NoFaults};
+use crate::locks::{rank, OrderedLock};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
     ErrorCode, ProtocolError, Request, Response, WireShare, MAX_LINE_BYTES, PROTOCOL_VERSION,
@@ -280,7 +281,10 @@ impl<L: IoLayer> Server<L> {
             _ => None,
         };
 
-        let gate = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let gate = Arc::new((
+            OrderedLock::new("admission", rank::ADMISSION, 0, 0usize),
+            Condvar::new(),
+        ));
         let mut handlers: Vec<JoinHandle<()>> = Vec::new();
 
         for incoming in self.listener.incoming() {
@@ -296,14 +300,10 @@ impl<L: IoLayer> Server<L> {
             handlers.retain(|h| !h.is_finished());
             {
                 let (count, cv) = &*gate;
-                let mut active = count
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                while *active >= self.max_connections {
-                    active = cv
-                        .wait(active)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                }
+                // reap-lint: acquires(admission)
+                let active = count.lock();
+                let max = self.max_connections;
+                let mut active = count.wait_while(active, cv, |n| *n >= max);
                 *active += 1;
             }
             self.shared.active.fetch_add(1, Ordering::SeqCst);
@@ -317,9 +317,8 @@ impl<L: IoLayer> Server<L> {
                 handle_connection(stream, &shared);
                 shared.active.fetch_sub(1, Ordering::SeqCst);
                 let (count, cv) = &*gate;
-                let mut active = count
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                // reap-lint: acquires(admission)
+                let mut active = count.lock();
                 *active -= 1;
                 cv.notify_one();
             }));
@@ -419,6 +418,7 @@ impl<S: Read> LineReader<S> {
             let mut chunk = [0u8; 4096];
             match self.stream.read(&mut chunk) {
                 Ok(0) => return ReadOutcome::Eof,
+                // reap-lint: allow(panic:index) -- Read contract: n <= chunk.len()
                 Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                     return ReadOutcome::TimedOut;

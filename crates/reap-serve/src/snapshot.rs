@@ -66,6 +66,7 @@ pub(crate) fn user_record(state: &UserState) -> [u8; RECORD_BYTES] {
     let mut rec = [0u8; RECORD_BYTES];
     let mut at = 0usize;
     let mut put = |bytes: &[u8]| {
+        // reap-lint: allow(panic:index) -- field offsets sum to RECORD_BYTES (debug-asserted below)
         rec[at..at + bytes.len()].copy_from_slice(bytes);
         at += bytes.len();
     };
@@ -103,6 +104,7 @@ pub fn snapshot(state: &FleetState) -> Vec<u8> {
     out.extend_from_slice(&state.users().to_le_bytes());
     state.for_each_user_in_order(|u| out.extend_from_slice(&user_record(u)));
     let mut digest = Fnv::new();
+    // reap-lint: allow(panic:index) -- the header was just written: out.len() >= HEADER_BYTES
     digest.write_bytes(&out[HEADER_BYTES..]);
     out.extend_from_slice(&digest.finish().to_le_bytes());
     out
@@ -122,6 +124,7 @@ impl<'a> Reader<'a> {
             ));
         }
         let mut buf = [0u8; N];
+        // reap-lint: allow(panic:index) -- bounds checked on entry to take()
         buf.copy_from_slice(&self.bytes[self.at..self.at + N]);
         self.at += N;
         Ok(buf)
@@ -207,12 +210,18 @@ pub fn restore(state: &FleetState, bytes: &[u8]) -> Result<u32, ProtocolError> {
         ));
     }
     let mut digest = Fnv::new();
+    // reap-lint: allow(panic:index) -- bytes.len() == HEADER_BYTES + records_len + 8 was just checked
     digest.write_bytes(&bytes[HEADER_BYTES..HEADER_BYTES + records_len]);
-    let stored = u64::from_le_bytes(
-        bytes[HEADER_BYTES + records_len..]
-            .try_into()
-            .expect("length checked above"),
-    );
+    // reap-lint: allow(panic:index) -- same length check: the tail slice is exactly 8 bytes
+    let stored = match bytes[HEADER_BYTES + records_len..].try_into() {
+        Ok(tail) => u64::from_le_bytes(tail),
+        Err(_) => {
+            return Err(ProtocolError::new(
+                ErrorCode::Snapshot,
+                "snapshot digest truncated",
+            ));
+        }
+    };
     if digest.finish() != stored {
         return Err(ProtocolError::new(
             ErrorCode::Snapshot,
@@ -229,10 +238,12 @@ pub fn restore(state: &FleetState, bytes: &[u8]) -> Result<u32, ProtocolError> {
 
     let mut next = decoded.into_iter();
     state.for_each_user_in_order_mut(|u| {
+        // reap-lint: allow(panic:expect) -- users == state.users() was validated; the walk yields exactly that many records
         let d = next.next().expect("one decoded record per user");
         u.alloc = d.alloc;
         u.vbat
             .set_level(d.vbat_level)
+            // reap-lint: allow(panic:expect) -- decode_record already rejected levels outside [0, capacity]
             .expect("level validated during decode");
         u.last_harvest = d.last_harvest;
         u.last_hour = d.last_hour;
@@ -392,10 +403,12 @@ pub fn write_atomic_with<L: IoLayer>(path: &Path, bytes: &[u8], layer: &L) -> io
         return Ok(false);
     }
     let half = bytes.len() / 2;
+    // reap-lint: allow(panic:index) -- half = len / 2 <= len
     file.write_all(&bytes[..half])?;
     if layer.crash_at(CrashPoint::TempHalfWritten) {
         return Ok(false);
     }
+    // reap-lint: allow(panic:index) -- half = len / 2 <= len
     file.write_all(&bytes[half..])?;
     if layer.crash_at(CrashPoint::TempWritten) {
         return Ok(false);
@@ -500,9 +513,8 @@ impl SnapshotRing {
     ///
     /// Propagates I/O failures (the ring is unchanged on error).
     pub fn write(&self, state: &FleetState) -> io::Result<PathBuf> {
-        Ok(self
-            .write_with(state, &NoFaults)?
-            .expect("NoFaults never crashes the writer"))
+        self.write_with(state, &NoFaults)?
+            .ok_or_else(|| io::Error::other("NoFaults cannot crash the writer mid-checkpoint"))
     }
 
     /// [`SnapshotRing::write`] with a crash hook; `Ok(None)` means the
@@ -531,6 +543,7 @@ impl SnapshotRing {
     fn prune(&self) -> io::Result<()> {
         let entries = self.entries()?;
         if entries.len() > self.keep {
+            // reap-lint: allow(panic:index) -- entries.len() > keep, so the range end is in-bounds
             for (_, path) in &entries[..entries.len() - self.keep] {
                 let _ = std::fs::remove_file(path);
             }

@@ -16,12 +16,15 @@
 //! request is therefore a table walk, not an LP solve.
 //!
 //! Concurrency: users are striped over `S` shards (`user % S`), each
-//! behind its own mutex. Requests for different shards proceed in
-//! parallel; fleet-wide operations (`Stats`, checkpoint, restore) lock
-//! all shards and walk users in index order, so their results are
-//! deterministic whatever the request interleaving that got there.
+//! behind its own rank-ordered mutex ([`OrderedLock`], class
+//! [`rank::SHARD`], sub-rank = shard index). Requests for different
+//! shards proceed in parallel; fleet-wide operations (`Stats`,
+//! checkpoint, restore) lock all shards in ascending index order — the
+//! `ordered` same-rank discipline — and walk users in index order, so
+//! their results are deterministic whatever the request interleaving
+//! that got there.
 
-use std::sync::Mutex;
+use crate::locks::{rank, OrderedLock};
 
 use reap_core::{Decision, FrontierTable, ReapProblem};
 use reap_harvest::{Battery, BudgetAllocator, EwmaAllocator};
@@ -87,7 +90,7 @@ struct Shard {
 /// The resident population, sharded for concurrent serving.
 #[derive(Debug)]
 pub struct FleetState {
-    shards: Vec<Mutex<Shard>>,
+    shards: Vec<OrderedLock<Shard>>,
     /// Cohort-shared frontier tables, indexed by `UserState::cohort`.
     tables: Vec<FrontierTable>,
     users: u32,
@@ -109,13 +112,8 @@ impl FleetState {
     ///
     /// Propagates [`reap_sim::SimError`] from user-parameter derivation
     /// or frontier construction (cannot happen for fleets accepted by
-    /// [`Fleet::builder`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics when `shards == 0`.
+    /// [`Fleet::builder`]). A `shards` of zero is clamped up to one.
     pub fn new(fleet: &Fleet, shards: usize) -> Result<FleetState, reap_sim::SimError> {
-        assert!(shards > 0, "at least one shard required");
         let users = fleet.users();
         let shards = shards.min(users as usize).max(1);
 
@@ -157,6 +155,7 @@ impl FleetState {
                 }
             };
 
+            // reap-lint: allow(panic:index) -- `u % shards` is < shards == shard_users.len()
             shard_users[u as usize % shards].push(UserState {
                 alloc: EwmaAllocator::new(),
                 vbat: Battery::small_wearable(),
@@ -175,7 +174,8 @@ impl FleetState {
         Ok(FleetState {
             shards: shard_users
                 .into_iter()
-                .map(|users| Mutex::new(Shard { users }))
+                .enumerate()
+                .map(|(i, users)| OrderedLock::new("shard", rank::SHARD, i as u32, Shard { users }))
                 .collect(),
             tables,
             users,
@@ -222,9 +222,10 @@ impl FleetState {
             ));
         }
         let shards = self.shards.len();
-        let mut shard = self.shards[user as usize % shards]
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // reap-lint: acquires(shard)
+        // reap-lint: allow(panic:index) -- `user % shards` is < shards == self.shards.len()
+        let mut shard = self.shards[user as usize % shards].lock();
+        // reap-lint: allow(panic:index) -- striping invariant: user < self.users puts `user / shards` in this shard
         let state = &mut shard.users[user as usize / shards];
         Ok(f(state, &self.tables))
     }
@@ -307,6 +308,7 @@ impl FleetState {
                     ));
                 }
             }
+            // reap-lint: allow(panic:index) -- cohort indices are assigned from tables.len() at build
             let floor = Energy::from_joules(tables[state.cohort as usize].min_budget_j());
             let harvested = Energy::from_joules(harvest_j);
             let proposed = state.alloc.allocate(hour, state.last_harvest, &state.vbat);
@@ -341,6 +343,7 @@ impl FleetState {
     /// [`ErrorCode::UnknownUser`] for an out-of-range user.
     pub fn decide(&self, user: u32) -> Result<DecideOutcome, ProtocolError> {
         self.with_user(user, |state, tables| {
+            // reap-lint: allow(panic:index) -- cohort indices are assigned from tables.len() at build
             let table = &tables[state.cohort as usize];
             let floor = Energy::from_joules(table.min_budget_j());
             let next_hour = if state.last_hour == NO_HOUR {
@@ -392,31 +395,28 @@ impl FleetState {
         stats
     }
 
-    /// Locks every shard and visits users in index order. The shard
+    /// Locks every shard — in ascending index order, the shard class's
+    /// `ordered` discipline — and visits users in index order. The shard
     /// guards are all held for the duration, so the walk is an atomic
     /// fleet-wide read with respect to concurrent observes.
     pub(crate) fn for_each_user_in_order(&self, mut f: impl FnMut(&UserState)) {
-        let guards: Vec<_> = self
-            .shards
-            .iter()
-            .map(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
-            .collect();
+        // reap-lint: acquires(shard, ordered)
+        let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
         let shards = guards.len();
         for u in 0..self.users as usize {
+            // reap-lint: allow(panic:index) -- `u % shards` < guards.len(); striping puts `u / shards` in-bounds
             f(&guards[u % shards].users[u / shards]);
         }
     }
 
-    /// Locks every shard and visits users mutably in index order — the
-    /// restore path's atomic fleet-wide write.
+    /// Locks every shard (ascending index order) and visits users mutably
+    /// in index order — the restore path's atomic fleet-wide write.
     pub(crate) fn for_each_user_in_order_mut(&self, mut f: impl FnMut(&mut UserState)) {
-        let mut guards: Vec<_> = self
-            .shards
-            .iter()
-            .map(|s| s.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
-            .collect();
+        // reap-lint: acquires(shard, ordered)
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
         let shards = guards.len();
         for u in 0..self.users as usize {
+            // reap-lint: allow(panic:index) -- `u % shards` < guards.len(); striping puts `u / shards` in-bounds
             f(&mut guards[u % shards].users[u / shards]);
         }
     }

@@ -1,0 +1,138 @@
+//! Cross-process snapshot determinism: two *separate processes* that
+//! feed the same per-user observation streams must produce byte-for-byte
+//! identical snapshots, even when they interleave users differently.
+//!
+//! Running in fresh processes is the point — per-process state that a
+//! single-process test can't see (SipHash keys of a stray `HashMap`,
+//! ASLR-dependent pointer hashing, lazily-seeded ambient RNG) would all
+//! surface here as differing bytes. This is the regression test behind
+//! the `reap-lint` determinism rule: the lint bans the sources
+//! statically, this pins the property dynamically.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use reap_serve::{snapshot, FleetState};
+use reap_sim::Fleet;
+
+const OUT_ENV: &str = "REAP_SNAPCHILD_OUT";
+const ORDER_ENV: &str = "REAP_SNAPCHILD_ORDER";
+
+const USERS: u32 = 48;
+const HOURS: u32 = 36;
+
+fn fleet() -> Fleet {
+    Fleet::builder(reap_device::paper_table2_operating_points())
+        .users(USERS)
+        .days(2)
+        .seed(2019)
+        .build()
+        .expect("valid fleet")
+}
+
+/// A deterministic, per-(user, hour) harvest/activity stream.
+fn harvest_j(user: u32, hour: u32) -> f64 {
+    let phase = f64::from((user + hour) % 24) / 24.0;
+    2.5 * (1.0 + (2.0 * std::f64::consts::PI * phase).sin()).max(0.0)
+}
+
+/// Child mode: build the fleet state, absorb the stream in the order
+/// named by `ORDER_ENV`, write the snapshot bytes to `OUT_ENV`.
+fn run_child(out: PathBuf) {
+    let state = FleetState::new(&fleet(), 5).expect("state builds");
+    let order = std::env::var(ORDER_ENV).unwrap_or_default();
+    let feed = |u: u32, h: u32| {
+        state
+            .observe_seq(u, h, harvest_j(u, h), Some(0.125), Some(u64::from(h) + 1))
+            .expect("observe accepted");
+    };
+    if order == "hours-outer" {
+        for h in 0..HOURS {
+            for u in 0..USERS {
+                feed(u, h);
+            }
+        }
+    } else {
+        for u in 0..USERS {
+            for h in 0..HOURS {
+                feed(u, h);
+            }
+        }
+    }
+    std::fs::write(&out, snapshot::snapshot(&state)).expect("snapshot written");
+}
+
+/// Re-runs this test binary filtered to this test, in child mode.
+fn spawn_child(test_name: &str, out: &PathBuf, order: &str) {
+    let exe = std::env::current_exe().expect("test binary path");
+    let status = Command::new(exe)
+        .args([test_name, "--exact", "--test-threads", "1"])
+        .env(OUT_ENV, out)
+        .env(ORDER_ENV, order)
+        .status()
+        .expect("child spawns");
+    assert!(status.success(), "child ({order}) failed: {status}");
+    assert!(out.is_file(), "child ({order}) wrote no snapshot");
+}
+
+#[test]
+fn snapshot_bytes_identical_across_processes() {
+    if let Ok(out) = std::env::var(OUT_ENV) {
+        run_child(PathBuf::from(out));
+        return;
+    }
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let a = dir.join("snap_proc_a.bin");
+    let b = dir.join("snap_proc_b.bin");
+    let c = dir.join("snap_proc_c.bin");
+    for p in [&a, &b, &c] {
+        let _ = std::fs::remove_file(p);
+    }
+
+    // Two fresh processes, same feed order.
+    spawn_child(
+        "snapshot_bytes_identical_across_processes",
+        &a,
+        "users-outer",
+    );
+    spawn_child(
+        "snapshot_bytes_identical_across_processes",
+        &b,
+        "users-outer",
+    );
+    // A third with the cross-user interleaving transposed: per-user
+    // streams are unchanged, so the snapshot must still be identical.
+    spawn_child(
+        "snapshot_bytes_identical_across_processes",
+        &c,
+        "hours-outer",
+    );
+
+    let bytes_a = std::fs::read(&a).expect("read a");
+    let bytes_b = std::fs::read(&b).expect("read b");
+    let bytes_c = std::fs::read(&c).expect("read c");
+    assert!(
+        bytes_a.len() > 32,
+        "snapshot suspiciously small: {} bytes",
+        bytes_a.len()
+    );
+    assert_eq!(
+        bytes_a, bytes_b,
+        "same-order runs diverged across processes"
+    );
+    assert_eq!(
+        bytes_a, bytes_c,
+        "interleaving order leaked into the snapshot"
+    );
+
+    // And the snapshot restores into a third in-process state whose
+    // re-snapshot is the same bytes again (restore is exact).
+    let state = FleetState::new(&fleet(), 3).expect("state builds");
+    snapshot::restore(&state, &bytes_a).expect("restore accepted");
+    assert_eq!(
+        snapshot::snapshot(&state),
+        bytes_a,
+        "restore → snapshot is not byte-stable"
+    );
+}

@@ -388,7 +388,7 @@ fn run_battery_mode(
 ) -> Result<VdtRun, SimError> {
     let dt = u64::from(scenario.dt_seconds);
     let steps_per_hour = HOUR_S / dt;
-    let frac = 1.0 / steps_per_hour as f64;
+    let frac = 1.0 / to_f64(steps_per_hour);
     let harvest: Vec<Energy> = scenario.trace.iter().collect();
     let total_hours = harvest.len();
     let end_s = total_hours as u64 * HOUR_S;
@@ -741,14 +741,14 @@ impl<'s> IntermittentCore<'s> {
     /// ends. Returns `None` when no point completes even one epoch —
     /// the node voluntarily sleeps and banks the energy instead.
     fn choose_burst_plan(&self, t: u64) -> Option<(Energy, Schedule)> {
-        let frac = self.dt as f64 / 3600.0;
+        let frac = to_f64(self.dt) / 3600.0;
         let alpha = self.scenario.problem.alpha();
         let margin = self.cap.energy().joules() - self.e_off();
         let epoch_in =
-            self.cap.charge_efficiency() * self.hour_harvest.joules() / 3600.0 * self.dt as f64;
-        let leak_epoch = self.cap.leakage().watts() * self.dt as f64;
+            self.cap.charge_efficiency() * self.hour_harvest.joules() / 3600.0 * to_f64(self.dt);
+        let leak_epoch = self.cap.leakage().watts() * to_f64(self.dt);
         let ckpt = self.config.checkpoint_cost.joules();
-        let remaining = ((self.end_s - t) / self.dt) as f64;
+        let remaining = to_f64((self.end_s - t) / self.dt);
         let mut best: Option<(f64, &(Energy, Schedule))> = None;
         for candidate in &self.full_schedules {
             let (_, sched) = candidate;
@@ -773,7 +773,7 @@ impl<'s> IntermittentCore<'s> {
     /// regardless of instantaneous harvest. Returns `Ok(true)` when the
     /// node survived the epoch (work committed).
     fn run_epoch(&mut self, t: u64, heap: &mut EventHeap) -> Result<bool, SimError> {
-        let frac = self.dt as f64 / 3600.0;
+        let frac = to_f64(self.dt) / 3600.0;
         self.ensure_plan(t)?;
         let Some((_, planned)) = self.current_plan.clone() else {
             // Voluntary sleep: no point completes an epoch. Wake checks
@@ -783,7 +783,7 @@ impl<'s> IntermittentCore<'s> {
         };
         let needed = planned.energy().joules() * frac;
         let gain = self.cap.charge_efficiency() * self.hour_harvest.joules() * frac;
-        let leak = self.cap.leakage().watts() * self.dt as f64;
+        let leak = self.cap.leakage().watts() * to_f64(self.dt);
         let e = self.cap.energy().joules();
         let e_end = e + gain - needed - leak;
         if e_end < self.e_off() {
@@ -801,7 +801,7 @@ impl<'s> IntermittentCore<'s> {
             self.stats.brownouts += 1;
             self.stats.epochs_lost += 1;
             self.on = false;
-            self.off_since = t as f64 + f * self.dt as f64;
+            self.off_since = to_f64(t) + f * to_f64(self.dt);
             self.schedule_wake(self.off_since, heap);
             return Ok(false);
         }
@@ -840,7 +840,7 @@ impl<'s> IntermittentCore<'s> {
             self.stats.brownouts += 1;
             self.stats.epochs_lost += 1;
             self.on = false;
-            self.off_since = (t + self.dt) as f64;
+            self.off_since = to_f64(t + self.dt);
             self.schedule_wake(self.off_since, heap);
             Ok(false)
         }
@@ -849,7 +849,7 @@ impl<'s> IntermittentCore<'s> {
     fn power_down_voluntarily(&mut self, t: u64) {
         self.stats.sleeps += 1;
         self.on = false;
-        self.off_since = t as f64;
+        self.off_since = to_f64(t);
         // Damp wake churn: re-evaluate at the next harvest edge.
         self.wake_not_before = (current_hour(t, self.end_s) as u64 + 1) * HOUR_S;
     }
@@ -880,6 +880,14 @@ impl<'s> IntermittentCore<'s> {
         }
         self.hour_committed = 0.0;
     }
+}
+
+/// Exact `u64` → `f64` for simulation-clock magnitudes: every time or
+/// count passed here is bounded by `days * 86_400` seconds (or steps),
+/// far below 2^53, so the conversion never rounds.
+fn to_f64(v: u64) -> f64 {
+    // reap-lint: allow(unsafe:float-cast) -- callers pass sim times/counts < 2^53; conversion is exact
+    v as f64
 }
 
 fn current_hour(t: u64, end_s: u64) -> usize {
@@ -973,7 +981,7 @@ fn run_intermittent_mode(
         match ev.kind {
             EventKind::HarvestEdge(h) => {
                 let h = h as usize;
-                core.advance_off(ev.at as f64);
+                core.advance_off(to_f64(ev.at));
                 if h > 0 {
                     core.finalize_hour(h - 1);
                 }
@@ -982,7 +990,7 @@ fn run_intermittent_mode(
                 core.wake_not_before = 0;
                 core.pending_wake = None;
                 if !core.on {
-                    core.schedule_wake(ev.at as f64, &mut heap);
+                    core.schedule_wake(to_f64(ev.at), &mut heap);
                 }
             }
             EventKind::Wake => {
@@ -992,12 +1000,12 @@ fn run_intermittent_mode(
                 if core.on || core.forced_out {
                     continue;
                 }
-                core.advance_off(ev.at as f64);
+                core.advance_off(to_f64(ev.at));
                 if core.cap.can_turn_on() {
                     core.turn_on(ev.at, &mut heap)?;
                 } else {
                     // Rates drifted (leak beat the estimate); recompute.
-                    core.schedule_wake(ev.at as f64, &mut heap);
+                    core.schedule_wake(to_f64(ev.at), &mut heap);
                 }
             }
             EventKind::Epoch => {
@@ -1016,19 +1024,19 @@ fn run_intermittent_mode(
                     // to `on_until`, so charging resumes from there.
                     core.stats.epochs_lost += 1;
                     core.on = false;
-                    core.off_since = (ev.at as f64).max(core.on_until as f64);
+                    core.off_since = to_f64(ev.at).max(to_f64(core.on_until));
                 } else {
-                    core.advance_off(ev.at as f64);
+                    core.advance_off(to_f64(ev.at));
                 }
                 core.pending_wake = None;
             }
             EventKind::Restore => {
-                core.advance_off(ev.at as f64);
+                core.advance_off(to_f64(ev.at));
                 core.forced_out = false;
-                core.schedule_wake(ev.at as f64, &mut heap);
+                core.schedule_wake(to_f64(ev.at), &mut heap);
             }
             EventKind::End => {
-                core.advance_off(ev.at as f64);
+                core.advance_off(to_f64(ev.at));
                 core.finalize_hour(total_hours - 1);
                 break;
             }

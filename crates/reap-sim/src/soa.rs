@@ -30,7 +30,7 @@
 //! [`Policy::Horizon`] is the exception: its joint LP keeps genuinely
 //! per-user state, so the fleet falls back to the scalar engine for it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -217,7 +217,7 @@ impl SoaFleet {
         let wants_tables = matches!(fleet.policy, Policy::Reap | Policy::Static(_))
             && fleet.intermittent.is_none()
             && fleet.dt_seconds == 3600;
-        let mut cohort_map: HashMap<Vec<u64>, u32> = HashMap::new();
+        let mut cohort_map: BTreeMap<Vec<u64>, u32> = BTreeMap::new();
         let mut cohort_params: Vec<(f64, Vec<OperatingPoint>)> = Vec::new();
         let mut gain_user = vec![0.0f64; users];
         let mut phase_user = vec![0u32; users];
